@@ -1,0 +1,21 @@
+"""Benchmark: regenerate the exclusive-vs-inclusive ablation (repo extra).
+
+Runs the inclusive_vs_exclusive harness at reduced scale; the full-scale
+version is ``repro run ablation-inclusive``.
+"""
+
+from conftest import SINGLE_REFS, run_once
+from repro.experiments import inclusive_vs_exclusive
+
+
+def test_ablation_inclusive(benchmark):
+    result = run_once(
+        benchmark, inclusive_vs_exclusive,
+        references=SINGLE_REFS,
+        use_cache=False,
+        workloads=["omnetpp", "lbm"],
+    )
+    assert result.experiment_id == "ablation-inclusive"
+    gmean = result.row_by("workload", "gmean")
+    assert gmean["exclusive"] is not None
+    assert gmean["inclusive"] is not None

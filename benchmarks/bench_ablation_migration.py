@@ -1,0 +1,19 @@
+"""Benchmark: regenerate migration-latency ablation (repo extra).
+
+Runs the migration_latency_sweep harness at reduced scale (see conftest for the knobs); the
+full-scale version is ``repro run ablation-migration``.
+"""
+
+from conftest import SINGLE_REFS, MIX_REFS, BENCH_SUBSET, MIX_SUBSET, run_once
+from repro.experiments import migration_latency_sweep
+
+
+def test_ablation_migration(benchmark):
+    result = run_once(
+        benchmark, migration_latency_sweep,
+        references=SINGLE_REFS,
+        use_cache=False,
+        workloads=["lbm", "soplex"],
+    )
+    assert result.row_by("workload", "gmean")
+    assert result.experiment_id == "ablation-migration"

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate replacement-policy ablation (repo extra).
+
+Runs the replacement_policy_ablation harness at reduced scale (see conftest for the knobs); the
+full-scale version is ``repro run ablation-replacement``.
+"""
+
+from conftest import SINGLE_REFS, MIX_REFS, BENCH_SUBSET, MIX_SUBSET, run_once
+from repro.experiments import replacement_policy_ablation
+
+
+def test_ablation_replacement(benchmark):
+    result = run_once(
+        benchmark, replacement_policy_ablation,
+        references=SINGLE_REFS,
+        use_cache=False,
+        workloads=["mcf", "omnetpp"],
+    )
+    assert result.row_by("workload", "gmean")
+    assert result.experiment_id == "ablation-replacement"

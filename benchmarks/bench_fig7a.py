@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 7a (single-programming performance improvement).
+
+Runs the fig7a harness at reduced scale (see conftest for the knobs); the
+full-scale version is ``repro run fig7a``.
+"""
+
+from conftest import SINGLE_REFS, MIX_REFS, BENCH_SUBSET, MIX_SUBSET, run_once
+from repro.experiments import fig7a
+
+
+def test_fig7a(benchmark):
+    result = run_once(
+        benchmark, fig7a,
+        references=SINGLE_REFS,
+        use_cache=False,
+        workloads=BENCH_SUBSET,
+    )
+    gmean = result.row_by("workload", "gmean")
+    assert gmean["fs"] > 0  # the all-fast bound must win
+    assert result.experiment_id == "fig7a"

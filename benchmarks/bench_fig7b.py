@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 7b (MPKI / PPKM / footprint).
+
+Runs the fig7b harness at reduced scale (see conftest for the knobs); the
+full-scale version is ``repro run fig7b``.
+"""
+
+from conftest import SINGLE_REFS, MIX_REFS, BENCH_SUBSET, MIX_SUBSET, run_once
+from repro.experiments import fig7b
+
+
+def test_fig7b(benchmark):
+    result = run_once(
+        benchmark, fig7b,
+        references=SINGLE_REFS,
+        use_cache=False,
+        workloads=BENCH_SUBSET,
+    )
+    assert all(v >= 0 for v in result.column("mpki"))
+    assert result.experiment_id == "fig7b"

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 7c (access locations, single-programming).
+
+Runs the fig7c harness at reduced scale (see conftest for the knobs); the
+full-scale version is ``repro run fig7c``.
+"""
+
+from conftest import SINGLE_REFS, MIX_REFS, BENCH_SUBSET, MIX_SUBSET, run_once
+from repro.experiments import fig7c
+
+
+def test_fig7c(benchmark):
+    result = run_once(
+        benchmark, fig7c,
+        references=SINGLE_REFS,
+        use_cache=False,
+        workloads=BENCH_SUBSET,
+    )
+    for row in result.rows:
+        total = row["dynamic_rowbuf"] + row["dynamic_fast"] + row["dynamic_slow"]
+        assert abs(total - 100.0) < 1.0
+    assert result.experiment_id == "fig7c"

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 7d (multi-programming performance improvement).
+
+Runs the fig7d harness at reduced scale (see conftest for the knobs); the
+full-scale version is ``repro run fig7d``.
+"""
+
+from conftest import SINGLE_REFS, MIX_REFS, BENCH_SUBSET, MIX_SUBSET, run_once
+from repro.experiments import fig7d
+
+
+def test_fig7d(benchmark):
+    result = run_once(
+        benchmark, fig7d,
+        references=MIX_REFS,
+        use_cache=False,
+        workloads=MIX_SUBSET,
+    )
+    gmean = result.row_by("workload", "gmean")
+    assert gmean["fs"] > 0
+    assert result.experiment_id == "fig7d"

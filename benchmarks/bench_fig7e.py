@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 7e (mix MPKI / PPKM / footprint).
+
+Runs the fig7e harness at reduced scale (see conftest for the knobs); the
+full-scale version is ``repro run fig7e``.
+"""
+
+from conftest import SINGLE_REFS, MIX_REFS, BENCH_SUBSET, MIX_SUBSET, run_once
+from repro.experiments import fig7e
+
+
+def test_fig7e(benchmark):
+    result = run_once(
+        benchmark, fig7e,
+        references=MIX_REFS,
+        use_cache=False,
+        workloads=MIX_SUBSET,
+    )
+    assert all(v >= 0 for v in result.column("ppkm"))
+    assert result.experiment_id == "fig7e"

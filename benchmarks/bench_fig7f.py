@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 7f (access locations, multi-programming).
+
+Runs the fig7f harness at reduced scale (see conftest for the knobs); the
+full-scale version is ``repro run fig7f``.
+"""
+
+from conftest import SINGLE_REFS, MIX_REFS, BENCH_SUBSET, MIX_SUBSET, run_once
+from repro.experiments import fig7f
+
+
+def test_fig7f(benchmark):
+    result = run_once(
+        benchmark, fig7f,
+        references=MIX_REFS,
+        use_cache=False,
+        workloads=MIX_SUBSET,
+    )
+    assert result.rows
+    assert result.experiment_id == "fig7f"

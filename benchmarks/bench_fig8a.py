@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 8a (performance vs promotion threshold).
+
+Runs the fig8a harness at reduced scale (see conftest for the knobs); the
+full-scale version is ``repro run fig8a``.
+"""
+
+from conftest import SINGLE_REFS, MIX_REFS, BENCH_SUBSET, MIX_SUBSET, run_once
+from repro.experiments import fig8a
+
+
+def test_fig8a(benchmark):
+    result = run_once(
+        benchmark, fig8a,
+        references=SINGLE_REFS,
+        use_cache=False,
+        workloads=BENCH_SUBSET,
+    )
+    assert result.row_by("workload", "gmean")
+    assert result.experiment_id == "fig8a"

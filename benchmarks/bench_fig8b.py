@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 8b (access locations vs threshold).
+
+Runs the fig8b harness at reduced scale (see conftest for the knobs); the
+full-scale version is ``repro run fig8b``.
+"""
+
+from conftest import SINGLE_REFS, MIX_REFS, BENCH_SUBSET, MIX_SUBSET, run_once
+from repro.experiments import fig8b
+
+
+def test_fig8b(benchmark):
+    result = run_once(
+        benchmark, fig8b,
+        references=SINGLE_REFS,
+        use_cache=False,
+        workloads=["mcf"],
+    )
+    assert len(result.rows) == 4  # one per threshold
+    assert result.experiment_id == "fig8b"

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 8c (promotions per access vs threshold).
+
+Runs the fig8c harness at reduced scale (see conftest for the knobs); the
+full-scale version is ``repro run fig8c``.
+"""
+
+from conftest import SINGLE_REFS, MIX_REFS, BENCH_SUBSET, MIX_SUBSET, run_once
+from repro.experiments import fig8c
+
+
+def test_fig8c(benchmark):
+    result = run_once(
+        benchmark, fig8c,
+        references=SINGLE_REFS,
+        use_cache=False,
+        workloads=["mcf"],
+    )
+    row = result.rows[0]
+    assert row["t8"] <= row["t1"] + 1e-9  # filtering cannot add promotions
+    assert result.experiment_id == "fig8c"

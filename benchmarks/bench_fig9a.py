@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 9a (translation-cache capacity).
+
+Runs the fig9a harness at reduced scale (see conftest for the knobs); the
+full-scale version is ``repro run fig9a``.
+"""
+
+from conftest import SINGLE_REFS, MIX_REFS, BENCH_SUBSET, MIX_SUBSET, run_once
+from repro.experiments import fig9a
+
+
+def test_fig9a(benchmark):
+    result = run_once(
+        benchmark, fig9a,
+        references=SINGLE_REFS,
+        use_cache=False,
+        workloads=["mcf", "omnetpp"],
+    )
+    assert result.row_by("workload", "gmean")
+    assert result.experiment_id == "fig9a"

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 9b (migration-group size).
+
+Runs the fig9b harness at reduced scale (see conftest for the knobs); the
+full-scale version is ``repro run fig9b``.
+"""
+
+from conftest import SINGLE_REFS, MIX_REFS, BENCH_SUBSET, MIX_SUBSET, run_once
+from repro.experiments import fig9b
+
+
+def test_fig9b(benchmark):
+    result = run_once(
+        benchmark, fig9b,
+        references=SINGLE_REFS,
+        use_cache=False,
+        workloads=["mcf", "lbm"],
+    )
+    assert result.row_by("workload", "gmean")
+    assert result.experiment_id == "fig9b"

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 9c (fast-level ratio, random replacement).
+
+Runs the fig9c harness at reduced scale (see conftest for the knobs); the
+full-scale version is ``repro run fig9c``.
+"""
+
+from conftest import SINGLE_REFS, MIX_REFS, BENCH_SUBSET, MIX_SUBSET, run_once
+from repro.experiments import fig9c
+
+
+def test_fig9c(benchmark):
+    result = run_once(
+        benchmark, fig9c,
+        references=SINGLE_REFS,
+        use_cache=False,
+        workloads=["mcf", "libquantum"],
+    )
+    assert result.row_by("workload", "gmean")
+    assert result.experiment_id == "fig9c"

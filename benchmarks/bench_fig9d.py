@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 9d (fast-level ratio, LRU replacement).
+
+Runs the fig9d harness at reduced scale (see conftest for the knobs); the
+full-scale version is ``repro run fig9d``.
+"""
+
+from conftest import SINGLE_REFS, MIX_REFS, BENCH_SUBSET, MIX_SUBSET, run_once
+from repro.experiments import fig9d
+
+
+def test_fig9d(benchmark):
+    result = run_once(
+        benchmark, fig9d,
+        references=SINGLE_REFS,
+        use_cache=False,
+        workloads=["mcf", "libquantum"],
+    )
+    assert result.row_by("workload", "gmean")
+    assert result.experiment_id == "fig9d"

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Section 7.7 power study.
+
+Runs the power_study harness at reduced scale (see conftest for the knobs); the
+full-scale version is ``repro run power``.
+"""
+
+from conftest import SINGLE_REFS, MIX_REFS, BENCH_SUBSET, MIX_SUBSET, run_once
+from repro.experiments import power_study
+
+
+def test_power(benchmark):
+    result = run_once(
+        benchmark, power_study,
+        references=SINGLE_REFS,
+        use_cache=False,
+        workloads=BENCH_SUBSET,
+    )
+    mean = result.row_by("workload", "mean")
+    assert mean["fs_nj"] < mean["standard_nj"]  # short bitlines are cheaper
+    assert result.experiment_id == "power"

@@ -1,0 +1,73 @@
+"""Substrate microbenchmarks: raw throughput of the building blocks.
+
+Not a paper figure — these track the performance of the simulator itself
+(cache lookups, controller scheduling, trace generation) so regressions
+in the hot paths are visible.
+"""
+
+import itertools
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.config import (
+    CacheConfig,
+    ControllerConfig,
+    HierarchyConfig,
+    SystemConfig,
+)
+from repro.common.rng import make_rng
+from repro.controller.controller import MemorySystem
+from repro.dram.device import DRAMDevice, homogeneous_classifier
+from repro.dram.timing import SLOW, ddr3_1600_slow
+from repro.trace.spec2006 import build_trace
+
+
+def test_cache_lookup_throughput(benchmark):
+    cache = Cache(CacheConfig(32 * 1024, 8), make_rng(1, "b"))
+    addresses = [(i * 97) % (1 << 20) for i in range(50_000)]
+
+    def run():
+        for address in addresses:
+            cache.access(address, False)
+        return cache.accesses
+
+    assert benchmark(run) > 0
+
+
+def test_hierarchy_throughput(benchmark):
+    hierarchy = CacheHierarchy(HierarchyConfig(), 1, seed=1)
+    addresses = [(i * 97) % (1 << 22) for i in range(20_000)]
+
+    def run():
+        for address in addresses:
+            hierarchy.access(0, address, False)
+        return hierarchy.total_llc_misses()
+
+    assert benchmark(run) >= 0
+
+
+def test_controller_throughput(benchmark):
+    config = SystemConfig()
+
+    def run():
+        device = DRAMDevice(config.geometry,
+                            {SLOW: ddr3_1600_slow()},
+                            homogeneous_classifier(SLOW))
+        system = MemorySystem(device, ControllerConfig())
+        for i in range(20_000):
+            system.submit(i * 6.0, (i * 8191) % (1 << 26), i % 4 == 0)
+            if i % 32 == 31:
+                # Keep queues at realistic depths, as a core would.
+                system.drain(i * 6.0)
+        system.flush()
+        return system.demand_accesses
+
+    assert benchmark(run) == 20_000
+
+
+def test_trace_generation_throughput(benchmark):
+    def run():
+        trace = build_trace("mcf", seed=1)
+        return sum(1 for _ in itertools.islice(trace, 100_000))
+
+    assert benchmark(run) == 100_000

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 1 (system configuration).
+
+Table 1 is configuration-derived (no simulation), so this also serves as
+a floor reference for harness overhead.
+"""
+
+from conftest import run_once
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, table1)
+    assert result.experiment_id == "table1"
+    components = result.column("component")
+    assert "Asym. DRAM" in components

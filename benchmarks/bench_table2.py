@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 2 (target workloads)."""
+
+from conftest import run_once
+from repro.experiments import table2
+
+
+def test_table2(benchmark):
+    result = run_once(benchmark, table2)
+    assert result.experiment_id == "table2"
+    assert len(result.rows) == 18  # 10 single-programming + 8 mixes

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Evaluating DAS-DRAM on a custom synthetic workload.
+
+Shows how to compose the pattern library (repro.trace.synthetic) into a
+new workload, run it through the full system with `simulate`, and sweep a
+management policy — here the promotion-filter threshold of Figure 8 — to
+find the right setting for *your* access pattern.
+
+Run: ``python examples/custom_workload.py``
+"""
+
+import itertools
+
+from repro import AsymmetricConfig, SystemConfig, simulate
+from repro.common.rng import make_rng
+from repro.common.units import MiB
+from repro.trace.synthetic import (
+    GapModel,
+    HotspotPattern,
+    PointerChase,
+    ZipfPattern,
+    compose,
+)
+
+REFERENCES = 40_000
+
+
+def key_value_store_trace(seed: int):
+    """A synthetic in-memory KV store: Zipf-hot keys over a 6 MiB table,
+    plus pointer-chased index nodes over 24 MiB."""
+    rng = make_rng(seed, "kv")
+    hot_values = ZipfPattern(0, 6 * MiB, rng, alpha=1.1,
+                             write_fraction=0.25)
+    index_walk = PointerChase(6 * MiB, 24 * MiB, rng, write_fraction=0.05)
+    pattern = HotspotPattern(hot_values, index_walk, hot_fraction=0.7,
+                             rng=rng)
+    gaps = GapModel(mean_gap=20.0, jitter=4.0, rng=make_rng(seed, "gaps"))
+    return itertools.islice(compose(pattern, gaps), REFERENCES)
+
+
+def run(design: str, threshold: int = 1):
+    config = SystemConfig(
+        design=design,
+        asym=AsymmetricConfig(promotion_threshold=threshold),
+        seed=42,
+    )
+    return simulate(config, [key_value_store_trace(42)], REFERENCES,
+                    workload_name="kv-store")
+
+
+def main() -> None:
+    print("Custom workload: Zipf-hot values + pointer-chased index\n")
+    baseline = run("standard")
+    print(f"standard DRAM: {baseline.total_time_ns / 1000:.1f} us, "
+          f"MPKI {baseline.mpki:.1f}")
+
+    print("\nPromotion-threshold sweep on DAS-DRAM (Figure 8 style):")
+    print(f"{'threshold':>9} {'improvement':>12} {'promotions':>11} "
+          f"{'fast+rowbuf':>12}")
+    for threshold in (1, 2, 4, 8):
+        metrics = run("das", threshold)
+        served_fast = (metrics.access_locations["fast"]
+                       + metrics.access_locations["row_buffer"]) * 100
+        print(f"{threshold:>9} "
+              f"{metrics.improvement_percent(baseline):>+11.2f}% "
+              f"{metrics.promotions:>11} {served_fast:>11.1f}%")
+
+    print("\nAs in the paper, unfiltered promotion (threshold 1) keeps the")
+    print("fast level best utilised; filtering mainly loses coverage.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Anatomy of a row promotion, access by access.
+
+Builds a DAS-DRAM memory system directly (no cores, no caches) and feeds
+it a hand-crafted access sequence to expose the mechanism of Sections 4-5:
+
+1. an access to a row living in a *slow* subarray slot triggers a
+   promotion swap;
+2. the swap is deferred until the open burst ends, then occupies the two
+   involved subarrays for 146.25 ns (3 x tRC);
+3. the translation table commits when the rows move, so the next visit to
+   the row is served from a *fast* subarray at tRCD 8.75 ns.
+
+Run: ``python examples/migration_anatomy.py``
+"""
+
+from repro import SystemConfig, build_memory_system
+from repro.core.manager import DASManager
+
+
+def find_slow_row_address(system, organization):
+    """First address whose logical row currently maps to a slow slot."""
+    table = system.manager.table
+    geometry = system.device.geometry
+    for address in range(0, geometry.capacity_bytes, geometry.row_bytes):
+        decoded = system.device.mapping.decode(address)
+        group = decoded.row // organization.group_rows
+        local = decoded.row % organization.group_rows
+        flat = decoded.flat_bank(geometry)
+        if table.slot_of(flat, group, local) >= organization.fast_per_group:
+            return address
+    raise RuntimeError("no slow-slot address found")
+
+
+def describe(step, request):
+    op = request.op
+    latency = request.completion_ns - request.arrival_ns
+    print(f"  [{step}] {'write' if request.is_write else 'read'} "
+          f"@ {request.address:#010x}: "
+          f"{'row hit' if op.row_hit else op.subarray_class + ' activate'}"
+          f", latency {latency:6.2f} ns "
+          f"(done @ {request.completion_ns:8.2f} ns)")
+
+
+def main() -> None:
+    config = SystemConfig(design="das")
+    system = build_memory_system(config)
+    manager = system.manager
+    assert isinstance(manager, DASManager)
+    organization = manager.organization
+
+    address = find_slow_row_address(system, organization)
+    same_bank_other_row = address + 64 * config.geometry.row_bytes
+
+    print("Step 1: first touch of a cold row -> slow-subarray activation,")
+    print("        and the management layer queues a promotion swap.\n")
+    request = system.submit(0.0, address, False)
+    system.resolve(request)
+    describe(1, request)
+    print(f"        promotions queued: {manager.promotions}")
+
+    print("\nStep 2: the burst continues -> row-buffer hits; the pending")
+    print("        swap does NOT stall them (deferred migration).\n")
+    t = request.completion_ns
+    for i in range(2, 5):
+        follow = system.submit(t, address + (i - 1) * 64, False)
+        system.resolve(follow)
+        describe(i, follow)
+        t = follow.completion_ns
+
+    print("\nStep 3: an access to another row ends the burst; the swap")
+    print("        runs in the bank's idle gap (146.25 ns, two subarrays)")
+    print("        and the translation table commits.\n")
+    other = system.submit(t + 500.0, same_bank_other_row, False)
+    system.resolve(other)
+    describe(5, other)
+
+    print("\nStep 4: revisiting the promoted row now lands in a FAST")
+    print("        subarray slot (tRCD 8.75 ns vs 13.75 ns).\n")
+    revisit = system.submit(other.completion_ns + 2000.0, address, False)
+    system.resolve(revisit)
+    describe(6, revisit)
+
+    assert revisit.op.subarray_class == "fast", "promotion did not commit!"
+    print("\nThe row migrated from the slow level to the fast level with")
+    print("zero stall on the triggering burst — the mechanism that gives")
+    print("DAS-DRAM its 0.45% migration overhead in the paper.")
+
+
+if __name__ == "__main__":
+    main()

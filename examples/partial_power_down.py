@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Partial power-down through row migration (paper Section 1's teaser).
+
+The migration mechanism is not just for latency: regions whose live rows
+fit in their group's fast slots can be *evacuated* and their slow
+subarrays gated off.  This example runs a small workload, finds groups
+whose slow regions are gateable, gates them, and reports the background
+power saved versus the migration time invested.
+
+Run: ``python examples/partial_power_down.py``
+"""
+
+import itertools
+
+from repro import SystemConfig, build_memory_system
+from repro.common.rng import make_rng
+from repro.common.units import MiB
+from repro.core.powerdown import PowerDownController
+from repro.trace.synthetic import GapModel, ZipfPattern, compose
+
+
+def main() -> None:
+    config = SystemConfig(design="das")
+    system = build_memory_system(config)
+    manager = system.manager
+
+    # Drive a concentrated workload straight into the memory system.
+    pattern = ZipfPattern(0, 4 * MiB, make_rng(3, "pd"), alpha=1.2)
+    gaps = GapModel(10.0, 2.0, make_rng(3, "pd-gaps"))
+    now = 0.0
+    for _gap, address, is_write in itertools.islice(
+            compose(pattern, gaps), 20_000):
+        request = system.submit(now, address, is_write)
+        system.resolve(request)
+        now = request.completion_ns + 5.0
+    print(f"Workload done at {now / 1000:.1f} us; "
+          f"{len(system.touched_rows)} rows hold live data.\n")
+
+    controller = PowerDownController(manager, system)
+    organization = manager.organization
+    gated = 0
+    migrated = 0
+    migration_ns = 0.0
+    for flat_bank in range(config.geometry.total_banks):
+        for group in range(organization.groups_per_bank):
+            try:
+                result = controller.gate_group(
+                    flat_bank, group, system.touched_rows, now)
+            except ValueError:
+                continue  # live rows exceed the group's fast slots
+            gated += 1
+            migrated += result.rows_migrated
+            migration_ns += result.migration_time_ns
+
+    total_groups = (config.geometry.total_banks
+                    * organization.groups_per_bank)
+    saving = controller.background_power_saving_fraction()
+    print(f"Gated {gated} of {total_groups} group slow regions "
+          f"({gated / total_groups:.1%}),")
+    print(f"migrating {migrated} live rows out of the way "
+          f"({migration_ns / 1000:.1f} us of bank time).")
+    print(f"\nArray background power saved: {saving:.1%}")
+    print("A concentrated working set leaves most slow regions empty, so")
+    print("the same migration cells that accelerate hot data also let the")
+    print("device gate cold silicon — the paper's 'partial power down'.")
+
+
+if __name__ == "__main__":
+    main()

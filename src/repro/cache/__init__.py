@@ -1,0 +1,26 @@
+"""Cache substrate: set-associative caches and the three-level hierarchy."""
+
+from .cache import Cache
+from .hierarchy import L1, L2, LLC, MEMORY, CacheAccessResult, CacheHierarchy
+from .replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "Cache",
+    "L1",
+    "L2",
+    "LLC",
+    "MEMORY",
+    "CacheAccessResult",
+    "CacheHierarchy",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+]

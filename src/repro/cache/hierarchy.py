@@ -1,0 +1,106 @@
+"""Three-level cache hierarchy (Table 1): private L1/L2, shared LLC.
+
+The hierarchy is functional: it classifies each reference by the level it
+hits and reports which DRAM transactions (demand fill, dirty writebacks)
+the reference triggers.  Latencies are *access latencies* of the hitting
+level (Table 1 gives 4/12/20 cycles); DRAM misses additionally pay the
+memory-system latency computed by the controller.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..common.config import HierarchyConfig
+from ..common.rng import make_rng
+from .cache import Cache
+
+#: Levels a reference can hit at.
+L1, L2, LLC, MEMORY = "L1", "L2", "LLC", "MEM"
+
+
+@dataclass
+class CacheAccessResult:
+    """Outcome of pushing one reference through the hierarchy."""
+
+    level: str
+    latency_cycles: int
+    #: Byte address of the demand line to fetch from DRAM (LLC miss), or None.
+    demand_fill: Optional[int] = None
+    #: Byte addresses of dirty lines evicted to DRAM by this reference.
+    writebacks: List[int] = field(default_factory=list)
+
+
+class CacheHierarchy:
+    """Private-L1/L2 per core plus one shared LLC.
+
+    The hierarchy is non-inclusive/non-exclusive (mostly-inclusive in
+    practice): fills allocate at every level on the walk back up, and dirty
+    victims write back one level down.
+    """
+
+    def __init__(self, config: HierarchyConfig, num_cores: int, seed: int = 1) -> None:
+        self.config = config
+        self.num_cores = num_cores
+        self.l1: List[Cache] = [
+            Cache(config.l1, make_rng(seed, f"l1:{i}"), name=f"L1[{i}]")
+            for i in range(num_cores)
+        ]
+        self.l2: List[Cache] = [
+            Cache(config.l2, make_rng(seed, f"l2:{i}"), name=f"L2[{i}]")
+            for i in range(num_cores)
+        ]
+        self.llc = Cache(config.llc, make_rng(seed, "llc"), name="LLC")
+        self.line_bytes = config.l1.line_bytes
+        #: Demand LLC misses per core (for per-core MPKI).
+        self.llc_demand_misses: List[int] = [0] * num_cores
+
+    def access(self, core: int, address: int, is_write: bool) -> CacheAccessResult:
+        """Push one reference through the hierarchy for ``core``."""
+        cfg = self.config
+        l1 = self.l1[core]
+        hit, wb = l1.access(address, is_write)
+        if hit:
+            return CacheAccessResult(L1, cfg.l1.latency_cycles)
+        writebacks: List[int] = []
+        l2 = self.l2[core]
+        if wb is not None:
+            # L1 dirty victim lands in L2.
+            spill = l2.fill(wb, dirty=True)
+            if spill is not None:
+                spill2 = self.llc.fill(spill, dirty=True)
+                if spill2 is not None:
+                    writebacks.append(spill2)
+        hit, wb = l2.access(address, is_write)
+        if hit:
+            return CacheAccessResult(L2, cfg.l2.latency_cycles,
+                                     writebacks=writebacks)
+        if wb is not None:
+            spill = self.llc.fill(wb, dirty=True)
+            if spill is not None:
+                writebacks.append(spill)
+        hit, wb = self.llc.access(address, is_write)
+        if wb is not None:
+            writebacks.append(wb)
+        if hit:
+            return CacheAccessResult(LLC, cfg.llc.latency_cycles,
+                                     writebacks=writebacks)
+        self.llc_demand_misses[core] += 1
+        return CacheAccessResult(
+            MEMORY,
+            cfg.llc.latency_cycles,
+            demand_fill=(address // self.line_bytes) * self.line_bytes,
+            writebacks=writebacks,
+        )
+
+    def total_llc_misses(self) -> int:
+        """Demand LLC misses summed over cores."""
+        return sum(self.llc_demand_misses)
+
+    def reset_stats(self) -> None:
+        """Zero all per-level statistics (contents preserved)."""
+        for cache in (*self.l1, *self.l2, self.llc):
+            cache.reset_stats()
+        self.llc_demand_misses = [0] * self.num_cores

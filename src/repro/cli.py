@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro`` / ``repro``.
+
+Examples::
+
+    repro list                     # show all experiments
+    repro run table1               # print a table/figure
+    repro run fig7a --refs 50000   # quicker, shorter run
+    repro run all                  # regenerate everything
+    repro bench mcf --design das   # one ad-hoc workload run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from .sim.runner import run_workload
+from .trace.multiprog import mix_names
+from .trace.spec2006 import benchmark_names
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAS-DRAM (MICRO 2015) reproduction harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment",
+                     help="experiment id (see 'repro list') or 'all'")
+    run.add_argument("--refs", type=int, default=None,
+                     help="memory references per core (default: full scale)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="ignore and do not write the result cache")
+    run.add_argument("--chart", action="store_true",
+                     help="also render the result as ASCII bars")
+    run.add_argument("--save", metavar="DIR", default=None,
+                     help="also write each result as JSON into DIR")
+
+    trace = sub.add_parser("trace", help="dump or replay trace files")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    dump = trace_sub.add_parser("dump",
+                                help="write a benchmark trace to a file")
+    dump.add_argument("workload")
+    dump.add_argument("--out", required=True, help="output trace file")
+    dump.add_argument("--refs", type=int, default=50_000)
+    dump.add_argument("--seed", type=int, default=1)
+    replay = trace_sub.add_parser("run", help="simulate a trace file")
+    replay.add_argument("path")
+    replay.add_argument("--design", default="das",
+                        choices=["standard", "sas", "charm", "das",
+                                 "das_fm", "fs", "das_incl"])
+
+    bench = sub.add_parser("bench", help="run one workload/design pair")
+    bench.add_argument("workload",
+                       help=f"one of {', '.join(benchmark_names())} "
+                            f"or {', '.join(mix_names())}")
+    bench.add_argument("--design", default="das",
+                       choices=["standard", "sas", "charm", "das",
+                                "das_fm", "fs", "das_incl"])
+    bench.add_argument("--refs", type=int, default=None)
+    bench.add_argument("--no-cache", action="store_true")
+    return parser
+
+
+def _run_experiments(ids: List[str], refs: Optional[int],
+                     use_cache: bool, chart: bool = False,
+                     save_dir: Optional[str] = None) -> None:
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, references=refs,
+                                use_cache=use_cache)
+        print(result.render())
+        if save_dir is not None:
+            import json
+            from pathlib import Path
+
+            directory = Path(save_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / f"{experiment_id}.json"
+            with path.open("w") as stream:
+                json.dump(result.to_dict(), stream, indent=2)
+        if chart:
+            from .experiments.plotting import bar_chart
+
+            try:
+                print()
+                print(bar_chart(result))
+            except ValueError:
+                pass  # non-numeric table (e.g. table1/table2)
+        print()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(i) for i in experiment_ids())
+        for experiment_id in experiment_ids():
+            description = EXPERIMENTS[experiment_id].description
+            print(f"{experiment_id.ljust(width)}  {description}")
+        return 0
+    if args.command == "run":
+        ids = (experiment_ids() if args.experiment == "all"
+               else [args.experiment])
+        unknown = [i for i in ids if i not in EXPERIMENTS]
+        if unknown:
+            print(f"unknown experiment(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        _run_experiments(ids, args.refs, not args.no_cache, args.chart,
+                         args.save)
+        return 0
+    if args.command == "trace":
+        return _trace_command(args)
+    if args.command == "bench":
+        metrics = run_workload(args.workload, args.design,
+                               references=args.refs,
+                               use_cache=not args.no_cache)
+        print(f"workload={metrics.workload} design={metrics.design}")
+        print(f"  time_ns={metrics.time_ns}")
+        print(f"  ipc={[round(x, 3) for x in metrics.ipc]}")
+        print(f"  mpki={metrics.mpki:.2f} ppkm={metrics.ppkm:.1f}")
+        print(f"  footprint={metrics.footprint_bytes / 1e6:.1f} MB")
+        locations = {k: round(v, 4)
+                     for k, v in metrics.access_locations.items()}
+        print(f"  access_locations={locations}")
+        print(f"  mean_read_latency={metrics.mean_read_latency_ns:.1f} ns")
+        return 0
+    raise AssertionError("unreachable")
+
+
+def _trace_command(args) -> int:
+    """Handle ``repro trace dump|run``."""
+    import itertools
+
+    from .sim.runner import run_trace_file
+    from .trace.record import write_trace
+    from .trace.spec2006 import PROFILES, build_trace
+
+    if args.trace_command == "dump":
+        if args.workload not in PROFILES:
+            print(f"unknown workload {args.workload!r}", file=sys.stderr)
+            return 2
+        trace = itertools.islice(
+            build_trace(args.workload, args.seed), args.refs)
+        with open(args.out, "w") as stream:
+            count = write_trace(trace, stream)
+        print(f"wrote {count} references to {args.out}")
+        return 0
+    if args.trace_command == "run":
+        metrics = run_trace_file(args.path, args.design)
+        print(f"workload={metrics.workload} design={metrics.design}")
+        print(f"  ipc={[round(x, 3) for x in metrics.ipc]} "
+              f"mpki={metrics.mpki:.2f}")
+        print(f"  mean_read_latency={metrics.mean_read_latency_ns:.1f} ns")
+        return 0
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Common substrate: units, configuration, statistics, deterministic RNG."""
+
+from .config import (
+    AsymmetricConfig,
+    CacheConfig,
+    ControllerConfig,
+    CoreConfig,
+    DRAMGeometry,
+    HierarchyConfig,
+    SystemConfig,
+)
+from .rng import derive_seed, make_rng
+from .statistics import (
+    Accumulator,
+    Counter,
+    Histogram,
+    StatGroup,
+    geometric_mean,
+    gmean_improvement,
+)
+from .units import Frequency, GiB, KiB, MiB, format_bytes, is_power_of_two, log2_exact
+
+__all__ = [
+    "AsymmetricConfig",
+    "CacheConfig",
+    "ControllerConfig",
+    "CoreConfig",
+    "DRAMGeometry",
+    "HierarchyConfig",
+    "SystemConfig",
+    "derive_seed",
+    "make_rng",
+    "Accumulator",
+    "Counter",
+    "Histogram",
+    "StatGroup",
+    "geometric_mean",
+    "gmean_improvement",
+    "Frequency",
+    "GiB",
+    "KiB",
+    "MiB",
+    "format_bytes",
+    "is_power_of_two",
+    "log2_exact",
+]

@@ -1,0 +1,29 @@
+"""Deterministic random-number helpers.
+
+All simulator randomness flows through :func:`make_rng` so that a single
+``seed`` in the config reproduces a run bit-for-bit.  Sub-streams are derived
+from (seed, label) pairs so that adding a consumer never perturbs existing
+streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_seed(seed: int, label: str) -> int:
+    """Derive a stable 63-bit sub-seed from a master seed and a label."""
+    digest = hashlib.sha256(f"{seed}:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def make_rng(seed: int, label: str) -> random.Random:
+    """Create an independent :class:`random.Random` for one consumer.
+
+    >>> make_rng(1, "a").random() == make_rng(1, "a").random()
+    True
+    >>> make_rng(1, "a").random() == make_rng(1, "b").random()
+    False
+    """
+    return random.Random(derive_seed(seed, label))

@@ -1,0 +1,213 @@
+"""Lightweight statistics primitives for simulator components.
+
+Components own a :class:`StatGroup` and register named counters, scalars,
+distributions and ratios on it.  Groups render to readable text reports and
+export to plain dictionaries for JSON caching.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+class Counter:
+    """An integer event counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increment by ``amount`` (default 1)."""
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Accumulator:
+    """Accumulates samples; reports count / sum / mean / min / max / stdev."""
+
+    __slots__ = ("count", "total", "total_sq", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, sample: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += sample
+        self.total_sq += sample * sample
+        if sample < self.min:
+            self.min = sample
+        if sample > self.max:
+            self.max = sample
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stdev(self) -> float:
+        """Population standard deviation of samples (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        variance = self.total_sq / self.count - self.mean**2
+        return math.sqrt(max(variance, 0.0))
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "stdev": self.stdev,
+        }
+
+
+class Histogram:
+    """A fixed-bucket histogram over ``[0, bucket_width * num_buckets)``.
+
+    Samples beyond the last bucket land in an overflow bucket.
+    """
+
+    def __init__(self, bucket_width: float, num_buckets: int) -> None:
+        if bucket_width <= 0 or num_buckets <= 0:
+            raise ValueError("bucket_width and num_buckets must be positive")
+        self.bucket_width = bucket_width
+        self.buckets = [0] * num_buckets
+        self.overflow = 0
+        self.count = 0
+
+    def add(self, sample: float) -> None:
+        """Record one sample into its bucket."""
+        self.count += 1
+        index = int(sample // self.bucket_width)
+        if 0 <= index < len(self.buckets):
+            self.buckets[index] += 1
+        else:
+            self.overflow += 1
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate the ``fraction`` percentile (bucket upper edge)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = fraction * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.buckets):
+            seen += bucket_count
+            if seen >= target:
+                return (index + 1) * self.bucket_width
+        return math.inf
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values.
+
+    Used for the paper's "gmean" bars.  Raises on empty or non-positive
+    input because a silent fallback would corrupt reported speedups.
+    """
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def gmean_improvement(improvements_percent: Sequence[float]) -> float:
+    """Geometric-mean a list of percentage improvements.
+
+    The paper reports gmean over *speedups*; we convert each improvement
+    (e.g. 7.25 meaning +7.25%) to a speedup factor, gmean the factors, and
+    convert back to a percentage.
+    """
+    factors = [1.0 + p / 100.0 for p in improvements_percent]
+    return (geometric_mean(factors) - 1.0) * 100.0
+
+
+class StatGroup:
+    """A named, nestable collection of statistics.
+
+    >>> stats = StatGroup("controller")
+    >>> stats.counter("reads").add()
+    >>> stats.as_dict()["reads"]
+    1
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._accumulators: Dict[str, Accumulator] = {}
+        self._scalars: Dict[str, float] = {}
+        self._children: Dict[str, "StatGroup"] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get (creating on first use) the counter called ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter()
+        return self._counters[name]
+
+    def accumulator(self, name: str) -> Accumulator:
+        """Get (creating on first use) the accumulator called ``name``."""
+        if name not in self._accumulators:
+            self._accumulators[name] = Accumulator()
+        return self._accumulators[name]
+
+    def set_scalar(self, name: str, value: float) -> None:
+        """Record a computed scalar (e.g. a final ratio)."""
+        self._scalars[name] = value
+
+    def child(self, name: str) -> "StatGroup":
+        """Get (creating on first use) a nested group."""
+        if name not in self._children:
+            self._children[name] = StatGroup(name)
+        return self._children[name]
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Ratio of two counters; 0.0 when the denominator is zero."""
+        num = self.counter(numerator).value
+        den = self.counter(denominator).value
+        return num / den if den else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Export all statistics to a nested plain dictionary."""
+        out: Dict[str, object] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, acc in self._accumulators.items():
+            out[name] = acc.as_dict()
+        out.update(self._scalars)
+        for name, group in self._children.items():
+            out[name] = group.as_dict()
+        return out
+
+    def report(self, indent: int = 0) -> str:
+        """Render a human-readable multi-line report."""
+        pad = "  " * indent
+        lines: List[str] = [f"{pad}[{self.name}]"]
+        for name, counter in sorted(self._counters.items()):
+            lines.append(f"{pad}  {name}: {counter.value}")
+        for name, acc in sorted(self._accumulators.items()):
+            lines.append(
+                f"{pad}  {name}: mean={acc.mean:.3f} n={acc.count} "
+                f"min={acc.min if acc.count else 0:.3f} "
+                f"max={acc.max if acc.count else 0:.3f}"
+            )
+        for name, value in sorted(self._scalars.items()):
+            lines.append(f"{pad}  {name}: {value:.6g}")
+        for group in self._children.values():
+            lines.append(group.report(indent + 1))
+        return "\n".join(lines)

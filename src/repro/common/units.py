@@ -1,0 +1,89 @@
+"""Physical-unit helpers used throughout the simulator.
+
+The simulator keeps **time in nanoseconds** (floats) as the single global
+time base.  DRAM timing parameters are naturally specified in nanoseconds,
+and CPU cycles are converted through :class:`Frequency`.
+
+Capacities are kept in **bytes** (ints).  The ``KiB``/``MiB``/``GiB``
+constants make configuration sites readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: One kibibyte in bytes.
+KiB = 1024
+#: One mebibyte in bytes.
+MiB = 1024 * KiB
+#: One gibibyte in bytes.
+GiB = 1024 * MiB
+
+
+@dataclass(frozen=True)
+class Frequency:
+    """A clock frequency, with helpers to convert cycles <-> nanoseconds.
+
+    >>> f = Frequency.from_ghz(3.0)
+    >>> f.cycles_to_ns(3)
+    1.0
+    >>> f.ns_to_cycles(1.0)
+    3.0
+    """
+
+    hertz: float
+
+    def __post_init__(self) -> None:
+        if self.hertz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.hertz}")
+
+    @classmethod
+    def from_ghz(cls, ghz: float) -> "Frequency":
+        """Build a frequency from a value in gigahertz."""
+        return cls(ghz * 1e9)
+
+    @classmethod
+    def from_mhz(cls, mhz: float) -> "Frequency":
+        """Build a frequency from a value in megahertz."""
+        return cls(mhz * 1e6)
+
+    @property
+    def period_ns(self) -> float:
+        """Length of one clock cycle in nanoseconds."""
+        return 1e9 / self.hertz
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        """Convert a cycle count at this frequency to nanoseconds."""
+        return cycles * self.period_ns
+
+    def ns_to_cycles(self, ns: float) -> float:
+        """Convert nanoseconds to (fractional) cycles at this frequency."""
+        return ns / self.period_ns
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return log2 of a power-of-two integer, raising otherwise.
+
+    >>> log2_exact(64)
+    6
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a power of two")
+    return value.bit_length() - 1
+
+
+def format_bytes(num_bytes: int) -> str:
+    """Render a byte count with a binary-unit suffix (e.g. ``'4.0 MiB'``)."""
+    size = float(num_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if size < 1024 or suffix == "TiB":
+            if suffix == "B":
+                return f"{int(size)} {suffix}"
+            return f"{size:.1f} {suffix}"
+        size /= 1024
+    raise AssertionError("unreachable")

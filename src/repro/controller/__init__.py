@@ -1,0 +1,30 @@
+"""Memory controller: request model, schedulers, and the event engine."""
+
+from .controller import (
+    EPSILON_NS,
+    ManagementPolicy,
+    MemorySystem,
+    Translation,
+)
+from .request import DEMAND_READ, DEMAND_WRITE, TRANSLATION_READ, Request
+from .scheduler import (
+    STARVATION_CAP_NS,
+    FCFSScheduler,
+    FRFCFSScheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "EPSILON_NS",
+    "ManagementPolicy",
+    "MemorySystem",
+    "Translation",
+    "DEMAND_READ",
+    "DEMAND_WRITE",
+    "TRANSLATION_READ",
+    "Request",
+    "STARVATION_CAP_NS",
+    "FCFSScheduler",
+    "FRFCFSScheduler",
+    "make_scheduler",
+]

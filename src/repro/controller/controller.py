@@ -1,0 +1,430 @@
+"""The memory controller / memory system engine.
+
+Event-driven, request-level: each channel has a *decision clock*; at every
+decision the scheduler picks among requests that have already arrived and
+issues all commands for one request atomically against the device state.
+``drain(t_safe)`` advances decisions only while they happen at or before
+``t_safe``, which lets the CPU co-simulation stay conservative (no request
+is ever scheduled before all earlier arrivals are known) — see
+``repro.sim.system`` for the protocol.
+
+The management layer (address translation, promotion, migration) is a
+plug-in: the controller calls ``manager.translate`` at submit time and
+``manager.on_scheduled`` after issuing each demand request.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..common.config import ControllerConfig
+from ..common.statistics import Histogram, StatGroup
+from ..dram.bank import BankOp
+from ..dram.channel import IO_DELAY_NS
+from ..dram.device import DRAMDevice
+from ..dram.timing import FAST, SLOW
+from .request import DEMAND_READ, DEMAND_WRITE, TRANSLATION_READ, Request
+from .scheduler import make_scheduler
+
+#: Lower-bound nudge for blocked cores (ns); guarantees loop progress.
+EPSILON_NS = 0.001
+
+
+@dataclass
+class Translation:
+    """Outcome of translating one request's logical location.
+
+    ``physical_row`` replaces the decoded row.  ``delay_ns`` models a
+    translation found outside the translation cache but inside the LLC.
+    ``table_row`` (when not None) forces a chained DRAM read of the
+    translation table in the same bank before the data access.
+    """
+
+    physical_row: int
+    delay_ns: float = 0.0
+    table_row: Optional[int] = None
+
+
+class ManagementPolicy:
+    """Interface for the (DAS) management layer plugged into the controller."""
+
+    def translate(self, logical_row: int, flat_bank: int, row: int,
+                  is_write: bool, now: float) -> Translation:
+        """Translate a bank-local row; default is the identity."""
+        return Translation(physical_row=row)
+
+    def on_scheduled(self, request: Request, op: BankOp,
+                     controller: "MemorySystem") -> None:
+        """Hook called after a demand request is issued (promotions)."""
+
+    def reset_stats(self) -> None:
+        """Zero management statistics at the warmup boundary."""
+
+
+class MemorySystem:
+    """Multi-channel memory controller plus the DRAM device it drives."""
+
+    def __init__(
+        self,
+        device: DRAMDevice,
+        config: ControllerConfig,
+        manager: Optional[ManagementPolicy] = None,
+        energy=None,
+    ) -> None:
+        self.device = device
+        self.config = config
+        self.manager = manager or ManagementPolicy()
+        self.energy = energy
+        channels = device.geometry.channels
+        self._read_q: List[List[Request]] = [[] for _ in range(channels)]
+        self._write_q: List[List[Request]] = [[] for _ in range(channels)]
+        self._clock: List[float] = [0.0] * channels
+        self._draining: List[bool] = [False] * channels
+        self._high_mark = max(
+            1, int(config.write_queue_entries * config.write_drain_high))
+        self._low_mark = int(
+            config.write_queue_entries * config.write_drain_low)
+        self._scheduler = make_scheduler(
+            config.scheduler, device, config.queue_entries)
+        self._closed_page = config.page_policy == "closed"
+        if config.page_policy == "timeout":
+            for bank in device.banks:
+                bank.row_timeout_ns = config.row_timeout_ns
+        self._command_slot_ns = device.timings[SLOW].tCK
+        # Refresh bookkeeping: next refresh deadline per (channel, rank).
+        slow = device.timings[SLOW]
+        self._refresh_enabled = config.refresh_enabled
+        self._tREFI = slow.tREFI
+        self._tRFC = slow.tRFC
+        self._next_refresh = {
+            (channel, rank): slow.tREFI
+            for channel in range(device.geometry.channels)
+            for rank in range(device.geometry.ranks_per_channel)
+        }
+        self.refreshes = 0
+        # Hot-path statistics (plain ints/floats for speed).
+        self.reads = 0
+        self.writes = 0
+        self.xlat_reads = 0
+        self.row_buffer_hits = 0
+        self.row_conflicts = 0
+        self.row_closed = 0
+        self.fast_accesses = 0
+        self.slow_accesses = 0
+        self.read_latency_sum = 0.0
+        self.read_count = 0
+        #: Read-latency distribution (5 ns buckets up to 2 us).
+        self.read_latency_hist = Histogram(5.0, 400)
+        self.touched_rows = set()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, arrival_ns: float, address: int, is_write: bool,
+               core: int = 0) -> Request:
+        """Submit one demand access; returns the request handle to await.
+
+        The handle returned is the *data* request; if translation requires
+        a DRAM table fetch, a parent request is chained in front of it
+        transparently.
+        """
+        decoded = self.device.mapping.decode(address)
+        flat_bank = decoded.flat_bank(self.device.geometry)
+        logical_row = (flat_bank * self.device.geometry.rows_per_bank
+                       + decoded.row)
+        kind = DEMAND_WRITE if is_write else DEMAND_READ
+        request = Request(arrival_ns, address, is_write, core, kind)
+        request.channel = decoded.channel
+        request.flat_bank = flat_bank
+        request.logical_row = logical_row
+        translation = self.manager.translate(
+            logical_row, flat_bank, decoded.row, is_write, arrival_ns)
+        request.row = translation.physical_row
+        request.arrival_ns = arrival_ns + translation.delay_ns
+        if translation.table_row is None:
+            self._enqueue(request)
+        else:
+            parent = Request(arrival_ns, address, False, core,
+                             TRANSLATION_READ)
+            parent.channel = decoded.channel
+            parent.flat_bank = flat_bank
+            parent.row = translation.table_row
+            parent.logical_row = logical_row
+            parent.dependent = request
+            parent.extra_delay_ns = translation.delay_ns
+            request.parent = parent
+            self._enqueue(parent)
+        self.touched_rows.add(logical_row)
+        return request
+
+    def _enqueue(self, request: Request) -> None:
+        if request.is_write:
+            self._write_q[request.channel].append(request)
+        else:
+            self._read_q[request.channel].append(request)
+
+    # ------------------------------------------------------------------
+    # Draining (scheduling decisions)
+    # ------------------------------------------------------------------
+
+    def drain(self, t_safe: float) -> None:
+        """Advance every channel while decisions occur at or before t_safe."""
+        for channel in range(len(self._clock)):
+            self._drain_channel(channel, t_safe)
+
+    def resolve(self, request: Request) -> float:
+        """Schedule a channel forward until ``request`` is resolved.
+
+        Only valid when no *earlier* arrival can still appear — i.e. in
+        single-core co-simulation, where a blocked core submits nothing
+        until this very request completes.  Returns the completion time.
+        """
+        while not request.resolved:
+            parent = request.parent
+            target = parent if parent is not None else request
+            self._drain_channel(target.channel, math.inf, stop=target)
+        return request.completion_ns  # type: ignore[return-value]
+
+    def flush(self) -> None:
+        """Schedule everything that remains (end of simulation)."""
+        self.drain(math.inf)
+
+    def pending_requests(self) -> int:
+        """Requests still queued across all channels."""
+        return (sum(len(q) for q in self._read_q)
+                + sum(len(q) for q in self._write_q))
+
+    def channel_clock(self, channel: int) -> float:
+        """Current decision clock of a channel."""
+        return self._clock[channel]
+
+    def lower_bound(self, request: Request) -> float:
+        """A non-decreasing lower bound on a request's completion time.
+
+        Used by blocked cores to publish a safe next-event time.
+        """
+        if request.resolved:
+            return request.completion_ns  # type: ignore[return-value]
+        if request.parent is not None and not request.parent.resolved:
+            target = request.parent
+        else:
+            target = request
+        base = max(target.arrival_ns, self._clock[target.channel])
+        return base + EPSILON_NS
+
+    def _drain_channel(self, channel: int, t_safe: float,
+                       stop: Optional[Request] = None) -> bool:
+        """Make scheduling decisions on one channel.
+
+        Decisions are made in arrival order (each request's commands are
+        then placed against live bank/bus state), with the scheduler's
+        pick preferring row hits and earliest-serviceable banks among the
+        arrived set.  The command-level reference model
+        (repro.dram.detailed, tests/test_detailed_engine.py) bounds the
+        pessimism of this request-atomic approximation; matching the
+        paper's testbed behaviour (its Figure 7c row-buffer profile)
+        takes precedence over closing that gap — see DESIGN.md.
+        """
+        reads = self._read_q[channel]
+        writes = self._write_q[channel]
+        progressed = False
+        while reads or writes:
+            if stop is not None and stop.resolved:
+                break
+            min_arrival = math.inf
+            for queue in (reads, writes):
+                for req in queue:
+                    if req.arrival_ns < min_arrival:
+                        min_arrival = req.arrival_ns
+            now = max(self._clock[channel], min_arrival)
+            if now > t_safe:
+                break
+            if self._refresh_enabled:
+                self._refresh_due(channel, now)
+            ready_reads = [r for r in reads if r.arrival_ns <= now]
+            ready_writes = [w for w in writes if w.arrival_ns <= now]
+            # Write-drain hysteresis (high/low watermarks).
+            if self._draining[channel]:
+                if len(writes) <= self._low_mark or not ready_writes:
+                    self._draining[channel] = False
+            elif len(writes) >= self._high_mark and ready_writes:
+                self._draining[channel] = True
+            use_writes = bool(ready_writes) and (
+                self._draining[channel] or not ready_reads)
+            if use_writes:
+                request = self._scheduler.pick(ready_writes, now)
+                writes.remove(request)
+            else:
+                request = self._scheduler.pick(ready_reads, now)
+                reads.remove(request)
+            self._issue(request, channel, now)
+            progressed = True
+        return progressed
+
+    def _refresh_due(self, channel: int, now: float) -> None:
+        """Issue any auto-refreshes whose tREFI deadline has passed.
+
+        An all-bank refresh closes and blocks every bank of the rank for
+        tRFC.  Deadlines are per rank and strictly periodic (the model
+        does not postpone refreshes).
+        """
+        geometry = self.device.geometry
+        for rank in range(geometry.ranks_per_channel):
+            key = (channel, rank)
+            while self._next_refresh[key] <= now:
+                start = self._next_refresh[key]
+                base = (channel * geometry.ranks_per_channel + rank) \
+                    * geometry.banks_per_rank
+                for bank_index in range(geometry.banks_per_rank):
+                    self.device.banks[base + bank_index].occupy(
+                        start, self._tRFC)
+                self.refreshes += 1
+                self._next_refresh[key] = start + self._tREFI
+
+    def _issue(self, request: Request, channel: int, now: float) -> None:
+        bank = self.device.banks[request.flat_bank]
+        op = bank.schedule(request.row, request.is_write, now)
+        completion = op.data_end_ns
+        if not request.is_write:
+            completion += IO_DELAY_NS
+        request.completion_ns = completion
+        request.op = op
+        if self._closed_page:
+            # Auto-precharge after the column access (closed-page policy).
+            bank.precharge_now(op.data_end_ns)
+        self._clock[channel] = max(self._clock[channel],
+                                   now) + self._command_slot_ns
+        self._record(request, op)
+        if self.energy is not None:
+            self.energy.record_op(op, request.is_write)
+        if request.kind != TRANSLATION_READ:
+            self.manager.on_scheduled(request, op, self)
+        if request.dependent is not None:
+            child = request.dependent
+            child.arrival_ns = max(child.arrival_ns,
+                                   completion + request.extra_delay_ns)
+            child.parent = None
+            request.dependent = None
+            self._enqueue(child)
+
+    def _record(self, request: Request, op: BankOp) -> None:
+        if request.kind == TRANSLATION_READ:
+            self.xlat_reads += 1
+            return
+        if request.is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+            latency = (request.completion_ns  # type: ignore[operator]
+                       - request.arrival_ns)
+            self.read_latency_sum += latency
+            self.read_latency_hist.add(latency)
+            self.read_count += 1
+        if op.row_hit:
+            self.row_buffer_hits += 1
+        elif op.row_conflict:
+            self.row_conflicts += 1
+        else:
+            self.row_closed += 1
+        if not op.row_hit:
+            if op.subarray_class == FAST:
+                self.fast_accesses += 1
+            else:
+                self.slow_accesses += 1
+
+    # ------------------------------------------------------------------
+    # Migration support (called by the management layer)
+    # ------------------------------------------------------------------
+
+    def occupy_bank(self, flat_bank: int, earliest: float,
+                    duration: float) -> float:
+        """Block a bank for a maintenance window immediately (power-down
+        staging and tests); returns the window end."""
+        _start, end = self.device.banks[flat_bank].occupy(earliest, duration)
+        if self.energy is not None:
+            self.energy.record_migration(duration)
+        return end
+
+    def queue_migration(self, flat_bank: int, ready: float, duration: float,
+                        subarrays=frozenset(), callback=None) -> bool:
+        """Defer a promotion swap to the end of the bank's open burst (the
+        model used for DAS promotions — see Bank.pending_migrations).
+
+        ``subarrays`` scopes the window to the physical subarrays the swap
+        involves; ``callback`` commits the swap's logical effect
+        (translation-table update) when the window starts.  Returns False
+        when the bank's bounded migration queue dropped the request.
+        """
+        accepted = self.device.banks[flat_bank].defer_migration(
+            ready, duration, subarrays, callback)
+        if accepted and self.energy is not None:
+            self.energy.record_migration(duration)
+        return accepted
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def demand_accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def mean_read_latency_ns(self) -> float:
+        return self.read_latency_sum / self.read_count if self.read_count else 0.0
+
+    def read_latency_percentile(self, fraction: float) -> float:
+        """Approximate read-latency percentile in ns (5 ns resolution)."""
+        return self.read_latency_hist.percentile(fraction)
+
+    def access_location_fractions(self) -> dict:
+        """Fractions of demand accesses served by the row buffer, fast
+        subarrays and slow subarrays (Figure 7c/7f)."""
+        total = self.row_buffer_hits + self.fast_accesses + self.slow_accesses
+        if total == 0:
+            return {"row_buffer": 0.0, "fast": 0.0, "slow": 0.0}
+        return {
+            "row_buffer": self.row_buffer_hits / total,
+            "fast": self.fast_accesses / total,
+            "slow": self.slow_accesses / total,
+        }
+
+    def footprint_bytes(self) -> int:
+        """Distinct logical rows touched times the row size."""
+        return len(self.touched_rows) * self.device.geometry.row_bytes
+
+    def reset_stats(self) -> None:
+        """Zero all counters at the warmup boundary (state preserved)."""
+        self.reads = 0
+        self.writes = 0
+        self.xlat_reads = 0
+        self.row_buffer_hits = 0
+        self.row_conflicts = 0
+        self.row_closed = 0
+        self.fast_accesses = 0
+        self.slow_accesses = 0
+        self.read_latency_sum = 0.0
+        self.read_count = 0
+        self.read_latency_hist = Histogram(5.0, 400)
+        self.touched_rows = set()
+        self.manager.reset_stats()
+        if self.energy is not None:
+            self.energy.reset()
+
+    def stats_group(self) -> StatGroup:
+        """Export counters into a :class:`StatGroup` report."""
+        group = StatGroup("memory_system")
+        group.counter("reads").add(self.reads)
+        group.counter("writes").add(self.writes)
+        group.counter("translation_reads").add(self.xlat_reads)
+        group.counter("row_buffer_hits").add(self.row_buffer_hits)
+        group.counter("row_conflicts").add(self.row_conflicts)
+        group.counter("row_closed").add(self.row_closed)
+        group.counter("fast_accesses").add(self.fast_accesses)
+        group.counter("slow_accesses").add(self.slow_accesses)
+        group.set_scalar("mean_read_latency_ns", self.mean_read_latency_ns)
+        group.set_scalar("footprint_bytes", self.footprint_bytes())
+        return group

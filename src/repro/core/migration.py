@@ -1,0 +1,91 @@
+"""The row-migration engine (paper Sections 4.2 and 5.1).
+
+A promotion in the exclusive scheme swaps two rows through the migration
+rows of the involved subarrays.  Figure 6 shows the four-step schedule:
+steps 1-2 move the promotee and the victim into migration rows, steps 3-4
+complete the two placements with their half-row movements in parallel.
+Table 1 prices the complete swap at 146.25 ns (= 3 x tRC of the slow
+subarray); a single one-way row move costs 1.5 x tRC (Section 4.2 — tRAS
+can be tightened because the migration cell is read right back out).
+
+The engine expresses a migration as a bank-occupying window: the bank is
+precharged, blocked for the swap latency, then resumes.  A zero-latency
+engine models the DAS-DRAM (FM) idealisation used to isolate migration
+overhead in Figure 7a.
+"""
+
+from __future__ import annotations
+
+from ..controller.controller import MemorySystem
+from ..dram.timing import TimingParams
+
+
+class MigrationEngine:
+    """Applies migration timing to banks and counts promotions."""
+
+    def __init__(self, swap_latency_ns: float) -> None:
+        if swap_latency_ns < 0:
+            raise ValueError("swap latency must be non-negative")
+        self.swap_latency_ns = swap_latency_ns
+        self.promotions = 0
+        self.dropped = 0
+        self.busy_time_ns = 0.0
+
+    @classmethod
+    def from_timing(cls, slow: TimingParams,
+                    trc_multiple: float = 3.0) -> "MigrationEngine":
+        """Build from the slow timing class (swap = ``trc_multiple`` x tRC)."""
+        return cls(trc_multiple * slow.tRC)
+
+    @classmethod
+    def free(cls) -> "MigrationEngine":
+        """Zero-cost migration (the DAS-DRAM (FM) idealisation)."""
+        return cls(0.0)
+
+    @property
+    def is_free(self) -> bool:
+        return self.swap_latency_ns == 0.0
+
+    def swap(self, controller: MemorySystem, flat_bank: int,
+             earliest_ns: float, subarrays=frozenset(), commit=None) -> None:
+        """Perform one promotion swap on a bank.
+
+        The swap is deferred until the open burst ends, then runs as a
+        window blocking only the involved ``subarrays`` — the triggering
+        access, its row-buffer followers, and accesses to the bank's
+        other subarrays are never stalled, which is what keeps the
+        paper's migration overhead at a fraction of a percent.
+        ``commit`` (no-arg callable) applies the logical table update when
+        the rows start moving; with a free engine it runs immediately.
+        Returns False when the bank's bounded migration queue dropped the
+        swap (the row will re-trigger on a later access).
+        """
+        if self.swap_latency_ns > 0.0:
+            accepted = controller.queue_migration(
+                flat_bank, earliest_ns, self.swap_latency_ns, subarrays,
+                commit)
+            if not accepted:
+                self.dropped += 1
+                return False
+            self.promotions += 1
+            self.busy_time_ns += self.swap_latency_ns
+            return True
+        self.promotions += 1
+        if commit is not None:
+            commit()
+        return True
+
+    def move(self, controller: MemorySystem, flat_bank: int,
+             earliest_ns: float, slow: TimingParams,
+             trc_multiple: float = 1.5) -> None:
+        """One-way row move (1.5 x tRC) — used by the inclusive-cache
+        extension when the victim is clean and by power-down staging."""
+        duration = trc_multiple * slow.tRC
+        if not self.is_free:
+            controller.occupy_bank(flat_bank, earliest_ns, duration)
+            self.busy_time_ns += duration
+
+    def reset_stats(self) -> None:
+        self.promotions = 0
+        self.dropped = 0
+        self.busy_time_ns = 0.0

@@ -1,0 +1,73 @@
+"""Row-promotion filtering policies (paper Section 5.3 / Figure 8).
+
+The first policy promotes on every slow-level access (threshold 1, the
+configuration the paper finally adopts).  The second counts accesses per
+row in a bounded table of hardware counters (1024 in the paper) and
+promotes only once a row's count reaches the threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class PromotionPolicy:
+    """Interface: decide whether a slow-level access triggers promotion."""
+
+    def should_promote(self, logical_row: int) -> bool:
+        raise NotImplementedError
+
+    def forget(self, logical_row: int) -> None:
+        """Drop state for a row (called after it is promoted)."""
+
+    def reset_stats(self) -> None:
+        """Zero statistics at the warmup boundary."""
+
+
+class AlwaysPromote(PromotionPolicy):
+    """Threshold-1 policy: every slow-level hit triggers a promotion."""
+
+    name = "always"
+
+    def should_promote(self, logical_row: int) -> bool:
+        return True
+
+
+class ThresholdFilter(PromotionPolicy):
+    """Promote after ``threshold`` accesses, tracked in a bounded LRU
+    counter table (the paper's set of 1024 hardware counters)."""
+
+    name = "threshold"
+
+    def __init__(self, threshold: int, num_counters: int = 1024) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if num_counters < 1:
+            raise ValueError("need at least one counter")
+        self.threshold = threshold
+        self.num_counters = num_counters
+        self._counts: Dict[int, int] = {}
+
+    def should_promote(self, logical_row: int) -> bool:
+        if self.threshold == 1:
+            return True
+        counts = self._counts
+        count = counts.pop(logical_row, 0) + 1
+        if count >= self.threshold:
+            # Promotion resets the counter (the row leaves the slow level).
+            return True
+        if len(counts) >= self.num_counters:
+            # Evict the least recently touched row's counter.
+            del counts[next(iter(counts))]
+        counts[logical_row] = count
+        return False
+
+    def forget(self, logical_row: int) -> None:
+        self._counts.pop(logical_row, None)
+
+
+def make_promotion_policy(threshold: int, num_counters: int = 1024) -> PromotionPolicy:
+    """Factory: threshold 1 is the unfiltered policy, otherwise a filter."""
+    if threshold == 1:
+        return AlwaysPromote()
+    return ThresholdFilter(threshold, num_counters)

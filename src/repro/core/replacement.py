@@ -1,0 +1,113 @@
+"""Fast-level victim selection policies (paper Section 5.3 / Figure 9c-d).
+
+A promotion must evict one logical row from a fast slot of the target
+migration group.  The paper evaluates LRU, random, sequential and a
+pseudo-random global-counter policy and finds the differences negligible
+(the fast level is large); we implement all four.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+
+class FastLevelReplacement:
+    """Interface: pick the victim fast *slot* within a migration group."""
+
+    def touch(self, flat_bank: int, group: int, slot: int) -> None:
+        """Record an access to a fast slot (for recency policies)."""
+
+    def victim(self, flat_bank: int, group: int, fast_slots: int) -> int:
+        """Choose the fast slot (0..fast_slots-1) to evict."""
+        raise NotImplementedError
+
+
+class LRUReplacement(FastLevelReplacement):
+    """Evict the least recently used fast slot of the group."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        #: (bank, group) -> slots ordered least-recent-first.
+        self._recency: Dict[Tuple[int, int], List[int]] = {}
+
+    def _order(self, key: Tuple[int, int], fast_slots: int) -> List[int]:
+        order = self._recency.get(key)
+        if order is None or len(order) != fast_slots:
+            order = list(range(fast_slots))
+            self._recency[key] = order
+        return order
+
+    def touch(self, flat_bank: int, group: int, slot: int) -> None:
+        key = (flat_bank, group)
+        order = self._recency.get(key)
+        if order is None:
+            return
+        if order and order[-1] != slot:
+            try:
+                order.remove(slot)
+            except ValueError:
+                return
+            order.append(slot)
+
+    def victim(self, flat_bank: int, group: int, fast_slots: int) -> int:
+        order = self._order((flat_bank, group), fast_slots)
+        slot = order.pop(0)
+        order.append(slot)
+        return slot
+
+
+class RandomReplacement(FastLevelReplacement):
+    """Uniformly random victim slot."""
+
+    name = "random"
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    def victim(self, flat_bank: int, group: int, fast_slots: int) -> int:
+        return self._rng.randrange(fast_slots)
+
+
+class SequentialReplacement(FastLevelReplacement):
+    """Round-robin pointer per group."""
+
+    name = "sequential"
+
+    def __init__(self) -> None:
+        self._pointers: Dict[Tuple[int, int], int] = {}
+
+    def victim(self, flat_bank: int, group: int, fast_slots: int) -> int:
+        key = (flat_bank, group)
+        pointer = self._pointers.get(key, 0) % fast_slots
+        self._pointers[key] = pointer + 1
+        return pointer
+
+
+class GlobalCounterReplacement(FastLevelReplacement):
+    """The paper's pseudo-random policy: one global increasing counter
+    shared by all groups selects the victim slot."""
+
+    name = "counter"
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def victim(self, flat_bank: int, group: int, fast_slots: int) -> int:
+        slot = self._counter % fast_slots
+        self._counter += 1
+        return slot
+
+
+def make_fast_replacement(name: str, rng: random.Random) -> FastLevelReplacement:
+    """Factory mapping a policy name to an instance."""
+    if name == "lru":
+        return LRUReplacement()
+    if name == "random":
+        return RandomReplacement(rng)
+    if name == "sequential":
+        return SequentialReplacement()
+    if name == "counter":
+        return GlobalCounterReplacement()
+    raise ValueError(f"unknown fast-level replacement {name!r}")

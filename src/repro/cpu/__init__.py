@@ -1,0 +1,6 @@
+"""Trace-driven CPU models: the ROB-limit core and the multi-core driver."""
+
+from .core import Core
+from .multicore import MultiCoreSimulator
+
+__all__ = ["Core", "MultiCoreSimulator"]

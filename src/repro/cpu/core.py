@@ -1,0 +1,213 @@
+"""Trace-driven out-of-order core model.
+
+The model substitutes Marss86 (see DESIGN.md): a 4-wide, 192-entry-ROB core
+that exposes realistic memory-level parallelism.  Instructions are fetched
+at ``issue_width`` per cycle; loads that miss to DRAM occupy the ROB until
+their data returns, and the ROB's in-order retirement stalls fetch once the
+window fills behind an outstanding miss.  Cache-hit latencies advance the
+in-order retirement floor directly (they never dominate a stall).
+
+Stores and writebacks are posted (write-buffer semantics) and never block
+retirement, but their line fills and writebacks do consume DRAM bandwidth.
+
+The core cooperates with :class:`repro.controller.MemorySystem` through the
+conservative co-simulation protocol: ``advance()`` runs the core forward
+until it either finishes its trace or *blocks* on an unresolved DRAM load,
+and ``bound()`` publishes a non-decreasing lower bound on the core's next
+action so the controller never schedules ahead of an unknown arrival.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional, Tuple
+
+from ..cache.hierarchy import CacheHierarchy, MEMORY
+from ..common.config import CoreConfig
+from ..common.units import Frequency
+from ..controller.controller import MemorySystem
+from ..controller.request import Request
+from ..trace.record import AccessTuple
+
+
+class Core:
+    """One trace-driven core."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: CoreConfig,
+        trace: Iterator[AccessTuple],
+        hierarchy: CacheHierarchy,
+        memory: MemorySystem,
+        max_references: int,
+        direct_resolve: bool = False,
+    ) -> None:
+        if max_references <= 0:
+            raise ValueError("max_references must be positive")
+        self.core_id = core_id
+        self.config = config
+        self.trace = trace
+        self.hierarchy = hierarchy
+        self.memory = memory
+        self.max_references = max_references
+        #: Single-core fast path: blocked loads are resolved synchronously
+        #: by the controller instead of round-tripping through the
+        #: conservative multi-core protocol (safe only with one core).
+        self.direct_resolve = direct_resolve
+        frequency = Frequency.from_ghz(config.frequency_ghz)
+        self._cycle_ns = frequency.period_ns
+        self._slot_ns = self._cycle_ns / config.issue_width
+        self._rob = config.rob_entries
+        # Progress state.
+        self.fetch_ns = 0.0
+        self.retire_floor_ns = 0.0
+        self.instructions = 0
+        self.references = 0
+        self.finished = False
+        #: Outstanding DRAM loads as (instruction_index, request).
+        self._outstanding: Deque[Tuple[int, Request]] = deque()
+        self._blocked_on: Optional[Request] = None
+        #: Reference consumed from the trace but not yet issued (the core
+        #: blocked while making ROB room for it).
+        self._pending_ref: Optional[Tuple[int, bool]] = None
+        # Measurement window (set at the warmup boundary).
+        self.measure_start_ns = 0.0
+        self.measure_start_instructions = 0
+        self.measure_start_references = 0
+
+    # ------------------------------------------------------------------
+    # Co-simulation protocol
+    # ------------------------------------------------------------------
+
+    def bound(self) -> float:
+        """Lower bound on this core's next memory-system interaction."""
+        if self.finished:
+            return float("inf")
+        if self._blocked_on is not None:
+            return self.memory.lower_bound(self._blocked_on)
+        return self.fetch_ns
+
+    def advance(self, until_references: Optional[int] = None) -> None:
+        """Run until the trace ends or the core blocks on a DRAM load.
+
+        ``until_references`` optionally pauses the core once it has
+        consumed that many references (used for the warmup boundary in
+        single-core fast-path runs).
+        """
+        if self.finished:
+            return
+        while True:
+            if self._blocked_on is not None:
+                if not self._blocked_on.resolved:
+                    return
+                self._retire_blocked()
+            if self._pending_ref is None:
+                if until_references is not None \
+                        and self.references >= until_references:
+                    return
+                if self.references >= self.max_references:
+                    self._finish()
+                    return
+                try:
+                    gap, address, is_write = next(self.trace)
+                except StopIteration:
+                    self._finish()
+                    return
+                self.references += 1
+                self.instructions += gap + 1
+                self.fetch_ns += (gap + 1) * self._slot_ns
+                self._pending_ref = (address, is_write)
+            if not self._make_rob_room():
+                return
+            address, is_write = self._pending_ref
+            self._pending_ref = None
+            result = self.hierarchy.access(self.core_id, address, is_write)
+            for writeback in result.writebacks:
+                self.memory.submit(self.fetch_ns, writeback, True,
+                                   self.core_id)
+            if result.level != MEMORY:
+                completion = self.fetch_ns + result.latency_cycles * self._cycle_ns
+                if not is_write and completion > self.retire_floor_ns:
+                    self.retire_floor_ns = completion
+                continue
+            miss_time = self.fetch_ns + result.latency_cycles * self._cycle_ns
+            request = self.memory.submit(miss_time, result.demand_fill,
+                                         False, self.core_id)
+            if not is_write:
+                self._outstanding.append((self.instructions, request))
+
+    def _make_rob_room(self) -> bool:
+        """Retire loads that must leave the ROB before the current
+        instruction can enter.  Returns False when blocked."""
+        boundary = self.instructions - self._rob
+        outstanding = self._outstanding
+        while outstanding and outstanding[0][0] <= boundary:
+            _inst_index, request = outstanding.popleft()
+            if not request.resolved:
+                if self.direct_resolve:
+                    self.memory.resolve(request)
+                else:
+                    self._blocked_on = request
+                    return False
+            self._retire(request)
+        return True
+
+    def _retire(self, request: Request) -> None:
+        completion = request.completion_ns
+        assert completion is not None
+        if completion > self.retire_floor_ns:
+            self.retire_floor_ns = completion
+        # Fetch cannot run ahead of the ROB: once the window filled behind
+        # this load, fetch resumes when it retires.
+        if self.fetch_ns < self.retire_floor_ns:
+            self.fetch_ns = self.retire_floor_ns
+
+    def _retire_blocked(self) -> None:
+        assert self._blocked_on is not None and self._blocked_on.resolved
+        request = self._blocked_on
+        self._blocked_on = None
+        self._retire(request)
+
+    def _finish(self) -> None:
+        if self._outstanding or self._blocked_on is not None:
+            # Completion of stragglers is accounted for by finish_time().
+            pass
+        self.finished = True
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+
+    def start_measurement(self) -> None:
+        """Mark the warmup boundary: subsequent metrics start here."""
+        self.measure_start_ns = max(self.fetch_ns, self.retire_floor_ns)
+        self.measure_start_instructions = self.instructions
+        self.measure_start_references = self.references
+
+    def finish_time_ns(self) -> float:
+        """Time the last instruction retires (requires a flushed memory
+        system so all outstanding completions are resolved)."""
+        latest = max(self.fetch_ns, self.retire_floor_ns)
+        for _inst, request in self._outstanding:
+            if request.resolved and request.completion_ns > latest:
+                latest = request.completion_ns
+        blocked = self._blocked_on
+        if blocked is not None and blocked.resolved:
+            latest = max(latest, blocked.completion_ns)
+        return latest
+
+    def measured_time_ns(self) -> float:
+        """Wall time of the measurement window."""
+        return self.finish_time_ns() - self.measure_start_ns
+
+    def measured_instructions(self) -> int:
+        return self.instructions - self.measure_start_instructions
+
+    def ipc(self) -> float:
+        """Instructions per cycle over the measurement window."""
+        time_ns = self.measured_time_ns()
+        if time_ns <= 0:
+            return 0.0
+        cycles = time_ns / self._cycle_ns
+        return self.measured_instructions() / cycles

@@ -1,0 +1,104 @@
+"""Multi-core co-simulation driver.
+
+Implements the conservative protocol between trace-driven cores and the
+event-driven memory system: the controller only makes scheduling decisions
+up to the minimum over all active cores of their next-arrival lower bound,
+so FR-FCFS never reorders around an arrival it has not seen yet.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from ..cache.hierarchy import CacheHierarchy
+from ..common.config import CoreConfig
+from ..controller.controller import MemorySystem
+from ..trace.record import AccessTuple
+from .core import Core
+
+
+class MultiCoreSimulator:
+    """Runs N cores against one shared memory system until completion."""
+
+    def __init__(
+        self,
+        core_config: CoreConfig,
+        traces: Sequence[Iterator[AccessTuple]],
+        hierarchy: CacheHierarchy,
+        memory: MemorySystem,
+        max_references: int,
+        warmup_fraction: float = 0.2,
+        on_warmup_done: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if not traces:
+            raise ValueError("need at least one trace")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must lie in [0, 1)")
+        self.memory = memory
+        self.hierarchy = hierarchy
+        direct = len(traces) == 1
+        self.cores: List[Core] = [
+            Core(index, core_config, trace, hierarchy, memory,
+                 max_references, direct_resolve=direct)
+            for index, trace in enumerate(traces)
+        ]
+        self._warmup_refs = int(max_references * warmup_fraction)
+        self._on_warmup_done = on_warmup_done
+        self._warmup_done = self._warmup_refs == 0
+        if self._warmup_done:
+            self._begin_measurement()
+
+    def run(self) -> None:
+        """Run all cores to completion."""
+        cores = self.cores
+        memory = self.memory
+        if len(cores) == 1:
+            self._run_single(cores[0])
+            return
+        while True:
+            for core in cores:
+                core.advance()
+            if not self._warmup_done and all(
+                core.references >= self._warmup_refs or core.finished
+                for core in cores
+            ):
+                self._begin_measurement()
+            active = [core for core in cores if not core.finished]
+            if not active:
+                break
+            t_safe = min(core.bound() for core in active)
+            memory.drain(t_safe)
+        memory.flush()
+
+    def _run_single(self, core) -> None:
+        """Single-core fast path: blocked loads resolve synchronously."""
+        if not self._warmup_done:
+            core.advance(until_references=self._warmup_refs)
+            self._begin_measurement()
+        core.advance()
+        self.memory.flush()
+
+    def _begin_measurement(self) -> None:
+        """Reset statistics at the warmup boundary (paper: first 20% of the
+        simulation is warmup)."""
+        self._warmup_done = True
+        self.hierarchy.reset_stats()
+        self.memory.reset_stats()
+        for core in self.cores:
+            core.start_measurement()
+        if self._on_warmup_done is not None:
+            self._on_warmup_done()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def per_core_time_ns(self) -> List[float]:
+        """Measured execution time of each core's instruction window."""
+        return [core.measured_time_ns() for core in self.cores]
+
+    def per_core_ipc(self) -> List[float]:
+        return [core.ipc() for core in self.cores]
+
+    def total_instructions(self) -> int:
+        return sum(core.measured_instructions() for core in self.cores)

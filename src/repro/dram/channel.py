@@ -1,0 +1,51 @@
+"""Channel-level data-bus arbitration.
+
+One data bus per channel carries every burst; the channel serialises
+bursts, enforces column-command spacing (tCCD) and charges a turnaround
+penalty when the bus switches direction (read <-> write).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .timing import TimingParams
+
+#: Extra gap charged when the bus reverses direction (approximates
+#: tWTR / tRTW bus turnaround at DDR3-1600).
+TURNAROUND_NS = 2.5
+
+#: Fixed DRAM-internal datapath + I/O transfer delay added between the end
+#: of a burst and the controller observing the data (paper Section 3 treats
+#: this as unchanged across designs).
+IO_DELAY_NS = 5.0
+
+
+class Channel:
+    """Data-bus and column-command book-keeping for one channel."""
+
+    __slots__ = ("bus_free", "next_column", "_last_was_write")
+
+    def __init__(self) -> None:
+        self.bus_free = 0.0
+        self.next_column = 0.0
+        self._last_was_write: Optional[bool] = None
+
+    def reserve(
+        self, col_ready: float, is_write: bool, params: TimingParams
+    ) -> Tuple[float, float, float]:
+        """Reserve a burst slot for a column command ready at ``col_ready``.
+
+        Returns ``(column_time, data_start, data_end)`` and updates the bus.
+        """
+        latency = params.tCWL if is_write else params.tCL
+        earliest_data = self.bus_free
+        if self._last_was_write is not None and self._last_was_write != is_write:
+            earliest_data += TURNAROUND_NS
+        col = max(col_ready, self.next_column, earliest_data - latency)
+        data_start = col + latency
+        data_end = data_start + params.tBURST
+        self.bus_free = data_end
+        self.next_column = col + params.tCCD
+        self._last_was_write = is_write
+        return (col, data_start, data_end)

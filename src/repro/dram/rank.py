@@ -1,0 +1,33 @@
+"""Rank-level activation constraints: tRRD and the four-activate window."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from .timing import TimingParams
+
+
+class Rank:
+    """Tracks ACT issue times for one rank to enforce tRRD and tFAW.
+
+    These constraints protect the shared charge-pump/power network and are
+    interface-level, so they use the commodity (slow) timing class.
+    """
+
+    __slots__ = ("_tRRD", "_tFAW", "_last_act", "_act_window")
+
+    def __init__(self, params: TimingParams) -> None:
+        self._tRRD = params.tRRD
+        self._tFAW = params.tFAW
+        self._last_act = -1e18
+        self._act_window: Deque[float] = deque(maxlen=4)
+
+    def activate_time(self, ready: float) -> float:
+        """Earliest ACT time >= ``ready`` respecting tRRD/tFAW; records it."""
+        t = max(ready, self._last_act + self._tRRD)
+        if len(self._act_window) == 4:
+            t = max(t, self._act_window[0] + self._tFAW)
+        self._last_act = t
+        self._act_window.append(t)
+        return t

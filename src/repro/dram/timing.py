@@ -1,0 +1,93 @@
+"""DRAM timing parameters.
+
+Values are in nanoseconds.  The slow (commodity) set matches Table 1
+(DDR3-1600: tRCD 13.75 ns, tRC 48.75 ns) with secondary constraints taken
+from the Samsung 2 Gb D-die datasheet the paper cites.  The fast set is the
+paper's short-bitline subarray (tRCD 8.75 ns, tRC 25 ns); tRC is split into
+tRAS 16.25 + tRP 8.75, consistent with short bitlines shrinking both the
+restore and the precharge phases.  CHARM additionally optimises column
+access on the fast level, modelled as a reduced tCL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Subarray classes.
+SLOW = "slow"
+FAST = "fast"
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """One subarray class's timing parameters (nanoseconds)."""
+
+    tCK: float = 1.25       #: clock period (DDR3-1600 = 800 MHz)
+    tRCD: float = 13.75     #: ACT -> column command
+    tRP: float = 13.75      #: PRE -> ACT
+    tRAS: float = 35.0      #: ACT -> PRE
+    tCL: float = 13.75      #: RD -> first data
+    tCWL: float = 10.0      #: WR -> first data
+    tBURST: float = 5.0     #: data burst (BL8 at 1600 MT/s)
+    tWR: float = 15.0       #: end of write data -> PRE
+    tRTP: float = 7.5       #: RD -> PRE
+    tCCD: float = 5.0       #: column command -> column command
+    tRRD: float = 6.25      #: ACT -> ACT, same rank
+    tFAW: float = 30.0      #: four-activate window, same rank
+    tWTR: float = 7.5       #: write data end -> RD, same rank
+    tREFI: float = 7800.0   #: average refresh interval (64 ms / 8192)
+    tRFC: float = 160.0     #: refresh cycle time (2 Gb-class device)
+
+    def __post_init__(self) -> None:
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) <= 0:
+                raise ValueError(f"timing parameter {name} must be positive")
+        if self.tRC < self.tRAS:
+            raise AssertionError("tRC must cover tRAS")
+
+    @property
+    def tRC(self) -> float:
+        """Row cycle time: ACT -> ACT on the same bank (tRAS + tRP)."""
+        return self.tRAS + self.tRP
+
+    def scaled(self, **overrides: float) -> "TimingParams":
+        """Copy with selected parameters overridden."""
+        return replace(self, **overrides)
+
+
+def ddr3_1600_slow() -> TimingParams:
+    """Commodity 512-cell-bitline subarray timing (Table 1 'DRAM')."""
+    return TimingParams()
+
+
+def ddr3_1600_fast() -> TimingParams:
+    """Short 128-cell-bitline subarray timing (Table 1 'Asym. DRAM').
+
+    tRCD 8.75 ns, tRC 25 ns (tRAS 16.25 + tRP 8.75).  Secondary constraints
+    that scale with bitline RC (tWR, tRTP) shrink proportionally; interface
+    timings (tCL, burst, tCCD) are unchanged.
+    """
+    return TimingParams(
+        tRCD=8.75,
+        tRP=8.75,
+        tRAS=16.25,
+        tWR=8.0,
+        tRTP=5.0,
+    )
+
+
+def charm_fast() -> TimingParams:
+    """CHARM's fast subarray: short bitlines plus optimised column access
+    (reduced CAS latency on the fast level)."""
+    return ddr3_1600_fast().scaled(tCL=10.0)
+
+
+def migration_latency_ns(slow: TimingParams, trc_multiple: float = 3.0) -> float:
+    """Latency of a full row swap expressed in multiples of slow tRC.
+
+    The paper's Table 1 uses 146.25 ns = 3 x tRC(slow); a single one-way
+    row move costs 1.5 x tRC (Section 4.2).
+    """
+    if trc_multiple <= 0:
+        raise ValueError("trc_multiple must be positive")
+    return trc_multiple * slow.tRC

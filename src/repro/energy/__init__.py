@@ -1,0 +1,12 @@
+"""DRAM energy models: event-level meter and IDD-based power estimation."""
+
+from .idd import IDDCurrents, IDDPowerModel, PowerBreakdown
+from .model import EnergyMeter, EnergyParams
+
+__all__ = [
+    "IDDCurrents",
+    "IDDPowerModel",
+    "PowerBreakdown",
+    "EnergyMeter",
+    "EnergyParams",
+]

@@ -1,0 +1,152 @@
+"""Datasheet-grounded DRAM power estimation (Micron IDD methodology).
+
+The event-level :class:`repro.energy.model.EnergyMeter` charges abstract
+per-command energies; this module complements it with the standard DDR3
+power calculation from datasheet IDD currents (Micron TN-41-01):
+
+* activation power from IDD0 minus the standby floor it includes,
+* read/write burst power from IDD4R/IDD4W minus active standby,
+* refresh power from IDD5 minus precharge standby,
+* background power from IDD2N/IDD3N weighted by state residency.
+
+State residencies come from the memory system's counters plus the row
+cycle times of each subarray class; bank active time is approximated as
+activations x tRAS of the activated class (open-page rows typically close
+at the tRAS floor under our workloads).  Fast subarrays scale IDD0's
+array component by their bitline-length ratio — the physical basis of
+the paper's energy claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..dram.timing import FAST, SLOW, TimingParams
+
+
+@dataclass(frozen=True)
+class IDDCurrents:
+    """DDR3-1600 x8 2 Gb-class datasheet currents (mA) and voltage."""
+
+    vdd: float = 1.5
+    idd0: float = 95.0    #: one-bank ACT->PRE cycling
+    idd2n: float = 45.0   #: precharge standby
+    idd3n: float = 60.0   #: active standby
+    idd4r: float = 180.0  #: burst read
+    idd4w: float = 185.0  #: burst write
+    idd5: float = 215.0   #: burst refresh
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if self.idd3n < self.idd2n:
+            raise ValueError("active standby below precharge standby")
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Average power over a window, in milliwatts per device."""
+
+    activate_mw: float
+    read_mw: float
+    write_mw: float
+    refresh_mw: float
+    background_mw: float
+
+    @property
+    def total_mw(self) -> float:
+        return (self.activate_mw + self.read_mw + self.write_mw
+                + self.refresh_mw + self.background_mw)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "activate_mw": self.activate_mw,
+            "read_mw": self.read_mw,
+            "write_mw": self.write_mw,
+            "refresh_mw": self.refresh_mw,
+            "background_mw": self.background_mw,
+            "total_mw": self.total_mw,
+        }
+
+
+#: Fast subarrays switch a quarter of the bitline cells (128 vs 512), so
+#: the array component of activation current scales accordingly.  The
+#: non-array share of IDD0 (decoders, drivers) is held constant.
+FAST_ARRAY_CURRENT_SCALE = 0.35
+ARRAY_SHARE_OF_IDD0 = 0.7
+
+
+class IDDPowerModel:
+    """Average-power estimator over a finished simulation window."""
+
+    def __init__(self, currents: IDDCurrents = IDDCurrents()) -> None:
+        self.currents = currents
+
+    def _activation_energy_nj(self, params: TimingParams,
+                              scale: float) -> float:
+        """Energy of one ACT+PRE cycle above the standby floor."""
+        c = self.currents
+        array = c.idd0 * ARRAY_SHARE_OF_IDD0 * scale
+        periphery = c.idd0 * (1.0 - ARRAY_SHARE_OF_IDD0)
+        floor = (c.idd3n * params.tRAS + c.idd2n * params.tRP) / params.tRC
+        effective_ma = max(array + periphery - floor, 0.0)
+        # mA * V * ns = pJ; /1000 -> nJ.
+        return effective_ma * c.vdd * params.tRC / 1000.0
+
+    def estimate(
+        self,
+        memory,
+        elapsed_ns: float,
+        timings: Dict[str, TimingParams],
+    ) -> PowerBreakdown:
+        """Average power of one device over ``elapsed_ns``.
+
+        ``memory`` is a finished :class:`repro.controller.MemorySystem`;
+        ``timings`` the device's per-class timing parameters.
+        """
+        if elapsed_ns <= 0:
+            raise ValueError("elapsed window must be positive")
+        c = self.currents
+        meter = memory.energy
+        slow = timings[SLOW]
+        # Activation energy by class.
+        activations = {SLOW: 0, FAST: 0}
+        if meter is not None:
+            activations.update(meter.activations)
+        else:
+            activations[SLOW] = memory.row_conflicts + memory.row_closed
+        act_energy_nj = activations[SLOW] * self._activation_energy_nj(
+            slow, 1.0)
+        if FAST in timings and activations.get(FAST):
+            act_energy_nj += activations[FAST] * self._activation_energy_nj(
+                timings[FAST], FAST_ARRAY_CURRENT_SCALE)
+        activate_mw = act_energy_nj / elapsed_ns * 1000.0
+        # Burst power: (IDD4x - IDD3N) while the bus carries data.
+        reads = memory.reads + memory.xlat_reads
+        read_time = reads * slow.tBURST
+        write_time = memory.writes * slow.tBURST
+        read_mw = ((c.idd4r - c.idd3n) * c.vdd
+                   * read_time / elapsed_ns)
+        write_mw = ((c.idd4w - c.idd3n) * c.vdd
+                    * write_time / elapsed_ns)
+        # Refresh: (IDD5 - IDD2N) during tRFC windows.
+        refresh_time = getattr(memory, "refreshes", 0) * slow.tRFC
+        refresh_mw = ((c.idd5 - c.idd2n) * c.vdd
+                      * refresh_time / elapsed_ns)
+        # Background: active standby while banks hold rows open, else
+        # precharge standby.  Active residency ~ activations x tRAS.
+        active_time = (activations[SLOW] * slow.tRAS)
+        if FAST in timings:
+            active_time += activations.get(FAST, 0) * timings[FAST].tRAS
+        active_fraction = min(active_time / elapsed_ns, 1.0)
+        background_ma = (c.idd3n * active_fraction
+                         + c.idd2n * (1.0 - active_fraction))
+        background_mw = background_ma * c.vdd
+        return PowerBreakdown(
+            activate_mw=activate_mw,
+            read_mw=read_mw,
+            write_mw=write_mw,
+            refresh_mw=refresh_mw,
+            background_mw=background_mw,
+        )

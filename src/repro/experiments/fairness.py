@@ -1,0 +1,81 @@
+"""Multi-programming fairness study (repo extra).
+
+The paper reports mix-level performance; this harness asks the
+complementary QoS question: how *evenly* is the memory system shared?
+For one mix it runs every member standalone (same trace, same length),
+then computes each core's slowdown inside the mix::
+
+    slowdown_i = T_mix_i / T_solo_i
+
+and reports, per design, the weighted speedup over standard DRAM
+alongside the worst-core slowdown and the fairness index
+(min slowdown / max slowdown; 1.0 = perfectly even).
+
+DAS-DRAM should not buy its average gain by starving one program: the
+fast level is shared by demand, so all four members benefit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..common.rng import derive_seed
+from ..sim.metrics import RunMetrics
+from ..sim.runner import run_workload
+from ..trace.multiprog import MIXES
+from .fig7 import MIX_REFS
+from .report import ExperimentResult
+
+#: Designs compared in the fairness study.
+FAIRNESS_DESIGNS = ("standard", "das", "fs")
+
+
+def _solo_times(mix: str, references: int, seed: int,
+                use_cache: bool) -> List[float]:
+    """Standalone execution time of each mix member on standard DRAM.
+
+    Members reuse the mix's per-slot sub-seeds so the solo trace is the
+    same program behaviour the mix runs (modulo the address offset).
+    """
+    times = []
+    for index, bench in enumerate(MIXES[mix]):
+        sub_seed = derive_seed(seed, f"{mix}:{index}:{bench}")
+        solo = run_workload(bench, "standard", references, seed=sub_seed,
+                            use_cache=use_cache)
+        times.append(solo.time_ns[0])
+    return times
+
+
+def fairness_study(references: Optional[int] = None,
+                   use_cache: bool = True,
+                   workloads: Optional[List[str]] = None,
+                   seed: int = 1) -> ExperimentResult:
+    """Per-design fairness metrics for the mixes."""
+    refs = references or MIX_REFS
+    columns = ["mix", "design", "improvement", "worst_slowdown",
+               "fairness"]
+    result = ExperimentResult(
+        "fairness", "Mix fairness: slowdown spread per design", columns)
+    for mix in workloads or ("M1", "M5", "M8"):
+        solo = _solo_times(mix, refs, seed, use_cache)
+        base: Optional[RunMetrics] = None
+        for design in FAIRNESS_DESIGNS:
+            metrics = run_workload(mix, design, refs, seed=seed,
+                                   use_cache=use_cache)
+            if design == "standard":
+                base = metrics
+            slowdowns = [mix_time / solo_time
+                         for mix_time, solo_time
+                         in zip(metrics.time_ns, solo)]
+            assert base is not None
+            result.add_row(
+                mix=mix,
+                design=design,
+                improvement=metrics.improvement_percent(base),
+                worst_slowdown=max(slowdowns),
+                fairness=min(slowdowns) / max(slowdowns),
+            )
+    result.notes.append(
+        "slowdown_i = mix time / standalone time (standard-DRAM solo "
+        "baseline); fairness = min/max slowdown, 1.0 = even sharing")
+    return result

@@ -1,0 +1,183 @@
+"""Figure 7: the paper's headline evaluation.
+
+* 7a — single-programming performance improvement of SAS / CHARM / DAS /
+  DAS(FM) / FS over standard DRAM (paper gmeans: 2.66 / 4.23 / 7.25 /
+  ~7.7 / 8.71 %).
+* 7b — MPKI, PPKM and footprint per benchmark.
+* 7c — access-location distribution (row buffer / fast / slow), static
+  (CHARM) vs dynamic (DAS).
+* 7d/7e/7f — the same three views for multi-programming mixes M1-M8
+  (paper gmeans for 7d: 3.72 / 4.87 / 11.77 / — / 13.79 %).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..common.statistics import gmean_improvement
+from ..sim.metrics import RunMetrics
+from ..sim.runner import run_workload
+from ..trace.multiprog import mix_names
+from ..trace.spec2006 import benchmark_names
+from .report import ExperimentResult
+
+#: Designs compared against the standard-DRAM baseline, in paper order.
+DESIGNS = ("sas", "charm", "das", "das_fm", "fs")
+
+#: Default run lengths (references per core) for full regeneration.
+SINGLE_REFS = 150_000
+MIX_REFS = 60_000
+
+
+def _design_suite(workload: str, references: int,
+                  use_cache: bool) -> Dict[str, RunMetrics]:
+    results = {"standard": run_workload(workload, "standard", references,
+                                        use_cache=use_cache)}
+    for design in DESIGNS:
+        results[design] = run_workload(workload, design, references,
+                                       use_cache=use_cache)
+    return results
+
+
+def _improvement_table(
+    experiment_id: str,
+    title: str,
+    workloads: List[str],
+    references: int,
+    use_cache: bool,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id, title, ["workload", *DESIGNS])
+    per_design: Dict[str, List[float]] = {d: [] for d in DESIGNS}
+    for workload in workloads:
+        suite = _design_suite(workload, references, use_cache)
+        base = suite["standard"]
+        row: Dict[str, object] = {"workload": workload}
+        for design in DESIGNS:
+            improvement = suite[design].improvement_percent(base)
+            row[design] = improvement
+            per_design[design].append(improvement)
+        result.add_row(**row)
+    result.add_row(workload="gmean", **{
+        d: gmean_improvement(per_design[d]) for d in DESIGNS})
+    result.notes.append(
+        "values are % performance improvement over standard DRAM")
+    return result
+
+
+def fig7a(references: Optional[int] = None,
+          use_cache: bool = True,
+          workloads: Optional[List[str]] = None) -> ExperimentResult:
+    """Figure 7a: single-programming performance improvements."""
+    refs = references or SINGLE_REFS
+    result = _improvement_table(
+        "fig7a", "Single-programming performance improvement",
+        workloads or benchmark_names(), refs, use_cache)
+    result.notes.append(
+        "paper gmeans: sas=2.66 charm=4.23 das=7.25 fs=8.71 "
+        "(absolute magnitudes differ on the scaled substrate; "
+        "ordering and ratios are the reproduction target)")
+    return result
+
+
+def fig7b(references: Optional[int] = None,
+          use_cache: bool = True,
+          workloads: Optional[List[str]] = None) -> ExperimentResult:
+    """Figure 7b: MPKI, PPKM and footprint per benchmark (DAS runs)."""
+    refs = references or SINGLE_REFS
+    result = ExperimentResult(
+        "fig7b", "MPKI / PPKM / footprint per benchmark",
+        ["workload", "mpki", "ppkm", "footprint_mb"])
+    for workload in workloads or benchmark_names():
+        metrics = run_workload(workload, "das", refs, use_cache=use_cache)
+        result.add_row(
+            workload=workload,
+            mpki=metrics.mpki,
+            ppkm=metrics.ppkm,
+            footprint_mb=metrics.footprint_bytes / 1e6,
+        )
+    result.notes.append(
+        "footprints follow the repo's 1/32 scaling of the paper's values")
+    return result
+
+
+def _locations_table(
+    experiment_id: str,
+    title: str,
+    workloads: List[str],
+    references: int,
+    use_cache: bool,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id, title,
+        ["workload", "static_rowbuf", "static_fast", "static_slow",
+         "dynamic_rowbuf", "dynamic_fast", "dynamic_slow"])
+    for workload in workloads:
+        static = run_workload(workload, "charm", references,
+                              use_cache=use_cache)
+        dynamic = run_workload(workload, "das", references,
+                               use_cache=use_cache)
+        result.add_row(
+            workload=workload,
+            static_rowbuf=static.access_locations["row_buffer"] * 100,
+            static_fast=static.access_locations["fast"] * 100,
+            static_slow=static.access_locations["slow"] * 100,
+            dynamic_rowbuf=dynamic.access_locations["row_buffer"] * 100,
+            dynamic_fast=dynamic.access_locations["fast"] * 100,
+            dynamic_slow=dynamic.access_locations["slow"] * 100,
+        )
+    result.notes.append("percent of memory accesses by serving location; "
+                        "static = profiled CHARM, dynamic = DAS")
+    return result
+
+
+def fig7c(references: Optional[int] = None,
+          use_cache: bool = True,
+          workloads: Optional[List[str]] = None) -> ExperimentResult:
+    """Figure 7c: access locations, static vs dynamic (single prog)."""
+    refs = references or SINGLE_REFS
+    return _locations_table(
+        "fig7c", "Access locations (single-programming)",
+        workloads or benchmark_names(), refs, use_cache)
+
+
+def fig7d(references: Optional[int] = None,
+          use_cache: bool = True,
+          workloads: Optional[List[str]] = None) -> ExperimentResult:
+    """Figure 7d: multi-programming performance improvements (M1-M8)."""
+    refs = references or MIX_REFS
+    result = _improvement_table(
+        "fig7d", "Multi-programming performance improvement",
+        workloads or mix_names(), refs, use_cache)
+    result.notes.append(
+        "paper gmeans: sas=3.72 charm=4.87 das=11.77 fs=13.79")
+    return result
+
+
+def fig7e(references: Optional[int] = None,
+          use_cache: bool = True,
+          workloads: Optional[List[str]] = None) -> ExperimentResult:
+    """Figure 7e: MPKI / PPKM / footprint for the mixes."""
+    refs = references or MIX_REFS
+    result = ExperimentResult(
+        "fig7e", "MPKI / PPKM / footprint per mix",
+        ["workload", "mpki", "ppkm", "footprint_mb"])
+    for mix in workloads or mix_names():
+        metrics = run_workload(mix, "das", refs, use_cache=use_cache)
+        result.add_row(
+            workload=mix,
+            mpki=metrics.mpki,
+            ppkm=metrics.ppkm,
+            footprint_mb=metrics.footprint_bytes / 1e6,
+        )
+    return result
+
+
+def fig7f(references: Optional[int] = None,
+          use_cache: bool = True,
+          workloads: Optional[List[str]] = None) -> ExperimentResult:
+    """Figure 7f: access locations for the mixes, static vs dynamic."""
+    refs = references or MIX_REFS
+    return _locations_table(
+        "fig7f", "Access locations (multi-programming)",
+        workloads or mix_names(), refs, use_cache)

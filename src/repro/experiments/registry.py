@@ -1,0 +1,90 @@
+"""Experiment registry: every paper table/figure plus repo ablations.
+
+``EXPERIMENTS`` maps an experiment id to (harness, description); the CLI
+and the benchmark suite both resolve through it, so the set of runnable
+experiments and the DESIGN.md experiment index stay in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple
+
+from .ablation import (
+    controller_policy_ablation,
+    seed_stability,
+    inclusive_vs_exclusive,
+    migration_latency_sweep,
+    replacement_policy_ablation,
+)
+from .fairness import fairness_study
+from .fig7 import fig7a, fig7b, fig7c, fig7d, fig7e, fig7f
+from .fig8 import fig8a, fig8b, fig8c
+from .fig9 import fig9a, fig9b, fig9c, fig9d
+from .power import power_study
+from .report import ExperimentResult
+from .tables import table1, table2
+
+
+class Experiment(NamedTuple):
+    """One runnable experiment."""
+
+    run: Callable[..., ExperimentResult]
+    description: str
+    takes_references: bool = True
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "table1": Experiment(lambda **_: table1(),
+                         "System configuration", False),
+    "table2": Experiment(lambda **_: table2(),
+                         "Target workloads", False),
+    "fig7a": Experiment(fig7a, "Single-programming performance improvement"),
+    "fig7b": Experiment(fig7b, "MPKI / PPKM / footprint per benchmark"),
+    "fig7c": Experiment(fig7c, "Access locations (single-programming)"),
+    "fig7d": Experiment(fig7d, "Multi-programming performance improvement"),
+    "fig7e": Experiment(fig7e, "MPKI / PPKM / footprint per mix"),
+    "fig7f": Experiment(fig7f, "Access locations (multi-programming)"),
+    "fig8a": Experiment(fig8a, "Performance vs promotion threshold"),
+    "fig8b": Experiment(fig8b, "Access locations vs promotion threshold"),
+    "fig8c": Experiment(fig8c, "Promotions per access vs threshold"),
+    "fig9a": Experiment(fig9a, "Translation-cache capacity sensitivity"),
+    "fig9b": Experiment(fig9b, "Migration-group size sensitivity"),
+    "fig9c": Experiment(fig9c, "Fast-level ratio (random replacement)"),
+    "fig9d": Experiment(fig9d, "Fast-level ratio (LRU replacement)"),
+    "power": Experiment(power_study, "Section 7.7 power implications"),
+    "ablation-migration": Experiment(
+        migration_latency_sweep, "Migration-latency sensitivity (repo extra)"),
+    "ablation-replacement": Experiment(
+        replacement_policy_ablation,
+        "All four replacement policies (repo extra)"),
+    "ablation-inclusive": Experiment(
+        inclusive_vs_exclusive,
+        "Exclusive vs inclusive management (repo extra)"),
+    "ablation-controller": Experiment(
+        controller_policy_ablation,
+        "DAS gain across controller policies (repo extra)"),
+    "ablation-seeds": Experiment(
+        seed_stability,
+        "DAS improvement stability across seeds (repo extra)"),
+    "fairness": Experiment(
+        fairness_study,
+        "Mix fairness: per-core slowdown spread (repo extra)"),
+}
+
+
+def experiment_ids() -> List[str]:
+    """All experiment ids in registry order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(EXPERIMENTS)}")
+    experiment = EXPERIMENTS[experiment_id]
+    if not experiment.takes_references:
+        kwargs.pop("references", None)
+        kwargs.pop("use_cache", None)
+    return experiment.run(**kwargs)

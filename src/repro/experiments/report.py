@@ -1,0 +1,86 @@
+"""ASCII rendering of experiment results (the repo's "figures").
+
+Every experiment harness returns an :class:`ExperimentResult`: an ordered
+table of rows plus metadata, renderable as aligned text and exportable as
+a dictionary.  The same rows the paper plots appear here as columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Structured outcome of one table/figure harness."""
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        """Append a row (keys must match ``columns``)."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"row has unknown columns: {sorted(unknown)}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(name)
+        return [row.get(name) for row in self.rows]
+
+    def row_by(self, key_column: str, key: object) -> Dict[str, object]:
+        """The first row whose ``key_column`` equals ``key``."""
+        for row in self.rows:
+            if row.get(key_column) == key:
+                return row
+        raise KeyError(f"no row with {key_column}={key!r}")
+
+    def render(self) -> str:
+        """Render as an aligned plain-text table."""
+        header = [self._format(c) for c in self.columns]
+        body = [
+            [self._format(row.get(column)) for column in self.columns]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body
+            else len(header[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _format(value: object) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(r) for r in self.rows],
+            "notes": list(self.notes),
+        }
+
+
+def render_bar(value: float, scale: float = 1.0, width: int = 40) -> str:
+    """A crude ASCII bar for quick visual comparison."""
+    filled = max(0, min(width, int(round(value * scale))))
+    return "#" * filled

@@ -1,0 +1,90 @@
+"""Tables 1 and 2 of the paper, regenerated from the live configuration.
+
+Table 1 prints the system configuration actually used by the simulator
+(with the paper's unscaled values alongside); Table 2 prints the workload
+roster.  Both act as consistency checks: the rows come from the config
+objects and workload registries, not from hard-coded strings.
+"""
+
+from __future__ import annotations
+
+from ..common.config import SystemConfig
+from ..common.units import format_bytes
+from ..core.organization import AsymmetricOrganization
+from ..dram.timing import ddr3_1600_fast, ddr3_1600_slow
+from ..trace.multiprog import MIXES, mix_names
+from ..trace.spec2006 import PROFILES, benchmark_names
+from .report import ExperimentResult
+
+
+def table1() -> ExperimentResult:
+    """Table 1: system configuration."""
+    config = SystemConfig()
+    slow = ddr3_1600_slow()
+    fast = ddr3_1600_fast()
+    organization = AsymmetricOrganization(config.geometry, config.asym)
+    result = ExperimentResult(
+        "table1", "System configuration", ["component", "value"])
+    core = config.core
+    result.add_row(component="Processor",
+                   value=f"{core.frequency_ghz:g} GHz, "
+                         f"{core.issue_width}-wide issue, "
+                         f"{core.rob_entries}-entry ROB")
+    hierarchy = config.hierarchy
+    result.add_row(component="Cache",
+                   value=(f"L1 {format_bytes(hierarchy.l1.capacity_bytes)} "
+                          f"{hierarchy.l1.associativity}-way "
+                          f"({hierarchy.l1.latency_cycles} cyc), "
+                          f"L2 {format_bytes(hierarchy.l2.capacity_bytes)} "
+                          f"{hierarchy.l2.associativity}-way "
+                          f"({hierarchy.l2.latency_cycles} cyc), "
+                          f"LLC {format_bytes(hierarchy.llc.capacity_bytes)} "
+                          f"{hierarchy.llc.associativity}-way shared "
+                          f"({hierarchy.llc.latency_cycles} cyc)"))
+    controller = config.controller
+    result.add_row(component="Memory controller",
+                   value=f"{controller.queue_entries}-entry queue, "
+                         f"{controller.page_policy}-page, "
+                         f"{controller.scheduler.upper()}")
+    geometry = config.geometry
+    result.add_row(component="DRAM",
+                   value=(f"{format_bytes(geometry.capacity_bytes)} total "
+                          f"(paper: 8 GiB at 1/32 scale), "
+                          f"{geometry.channels} channels, "
+                          f"{geometry.ranks_per_channel} ranks/channel, "
+                          f"{geometry.banks_per_rank} banks/rank, "
+                          f"tRCD {slow.tRCD} ns, tRC {slow.tRC} ns"))
+    asym = config.asym
+    result.add_row(component="Asym. DRAM",
+                   value=(f"fast-level ratio 1/{round(1 / asym.fast_ratio)}, "
+                          f"migration group {asym.migration_group_rows} rows, "
+                          f"migration latency {asym.migration_latency_ns} ns, "
+                          f"tRCD {fast.tRCD}/{slow.tRCD} ns (fast/slow), "
+                          f"tRC {fast.tRC}/{slow.tRC} ns"))
+    result.add_row(component="Area overhead",
+                   value=(f"{organization.area_overhead_fraction() * 100:.1f}%"
+                          f" (paper: 6.6% for ratio 1/8)"))
+    return result
+
+
+def table2() -> ExperimentResult:
+    """Table 2: target workloads."""
+    result = ExperimentResult(
+        "table2", "Target workloads",
+        ["workload", "kind", "members / input", "pattern class"])
+    for name in benchmark_names():
+        profile = PROFILES[name]
+        result.add_row(
+            workload=name,
+            kind="single",
+            **{"members / input": profile.input_name,
+               "pattern class": profile.pattern_class},
+        )
+    for mix in mix_names():
+        result.add_row(
+            workload=mix,
+            kind="multi",
+            **{"members / input": ", ".join(MIXES[mix]),
+               "pattern class": "4-core mix"},
+        )
+    return result

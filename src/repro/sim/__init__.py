@@ -1,0 +1,27 @@
+"""Simulation assembly: metrics, system builder, cached runner."""
+
+from .metrics import RunMetrics
+from .runner import (
+    DEFAULT_MIX_REFS,
+    DEFAULT_SINGLE_REFS,
+    make_config,
+    run_design_suite,
+    run_workload,
+)
+from .sweep import sweep_asym, sweep_controller, sweep_designs
+from .system import collect_metrics, profile_row_heat, simulate
+
+__all__ = [
+    "sweep_asym",
+    "sweep_controller",
+    "sweep_designs",
+    "RunMetrics",
+    "DEFAULT_MIX_REFS",
+    "DEFAULT_SINGLE_REFS",
+    "make_config",
+    "run_design_suite",
+    "run_workload",
+    "collect_metrics",
+    "profile_row_heat",
+    "simulate",
+]

@@ -1,0 +1,197 @@
+"""Cached experiment runner.
+
+Experiments are pure functions of (workload, design, config, seed, length),
+so results are memoised on disk as JSON under ``.repro_cache/`` (override
+with ``REPRO_CACHE_DIR``; disable with ``REPRO_NO_CACHE=1``).  This keeps
+the benchmark harness fast when regenerating multiple figures that share
+runs (e.g. every figure needs the standard baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..common.config import AsymmetricConfig, ControllerConfig, SystemConfig
+from ..common.rng import derive_seed
+from ..core.variants import PROFILED_DESIGNS
+from ..trace.multiprog import MIXES, build_mix_traces
+from ..trace.record import AccessTuple
+from ..trace.spec2006 import PROFILES, build_trace
+from .metrics import RunMetrics
+from .system import profile_row_heat, simulate
+
+#: Bump to invalidate every cached result after a model change.
+CODE_VERSION = 8
+
+#: Default trace lengths (memory references per core).
+DEFAULT_SINGLE_REFS = 300_000
+DEFAULT_MIX_REFS = 150_000
+
+
+def cache_dir() -> Path:
+    """Directory holding memoised run results."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def _cache_enabled() -> bool:
+    return os.environ.get("REPRO_NO_CACHE", "0") != "1"
+
+
+def _cache_path(key: str) -> Path:
+    return cache_dir() / f"{key}.json"
+
+
+def _load_cached(key: str) -> Optional[RunMetrics]:
+    if not _cache_enabled():
+        return None
+    path = _cache_path(key)
+    if not path.exists():
+        return None
+    try:
+        with path.open() as stream:
+            return RunMetrics.from_dict(json.load(stream))
+    except (ValueError, TypeError, OSError):
+        return None
+
+def _store_cached(key: str, metrics: RunMetrics) -> None:
+    if not _cache_enabled():
+        return
+    directory = cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = _cache_path(key)
+    with path.open("w") as stream:
+        json.dump(metrics.to_dict(), stream)
+
+
+def make_config(
+    design: str,
+    num_cores: int = 1,
+    seed: int = 1,
+    asym: Optional[AsymmetricConfig] = None,
+    controller: Optional[ControllerConfig] = None,
+) -> SystemConfig:
+    """Standard experiment configuration for one design variant."""
+    base = SystemConfig(num_cores=num_cores, design=design, seed=seed)
+    if asym is not None:
+        base = base.replace(asym=asym)
+    if controller is not None:
+        base = base.replace(controller=controller)
+    return base
+
+
+def _workload_traces(
+    workload: str, config: SystemConfig, seed: int, mode: str = "episode"
+) -> List[Iterator[AccessTuple]]:
+    """Fresh trace iterators for a named workload (benchmark or mix).
+
+    ``mode='lifetime'`` yields the whole-program behaviour used by the
+    static designs' oracle profiling pass; runs measure an episode.
+    """
+    if workload in PROFILES:
+        return [build_trace(workload, seed, mode=mode)]
+    if workload in MIXES:
+        return build_mix_traces(workload, seed,
+                                config.geometry.capacity_bytes, mode=mode)
+    from ..trace.extras import EXTRA_PROFILES, build_extra_trace
+
+    if workload in EXTRA_PROFILES:
+        # Extra workloads have no episode structure; profiling passes
+        # simply observe a longer window of the same behaviour.
+        return [build_extra_trace(workload, seed)]
+    raise KeyError(f"unknown workload {workload!r}")
+
+
+def run_workload(
+    workload: str,
+    design: str = "das",
+    references: Optional[int] = None,
+    seed: int = 1,
+    asym: Optional[AsymmetricConfig] = None,
+    controller: Optional[ControllerConfig] = None,
+    use_cache: bool = True,
+) -> RunMetrics:
+    """Run (or recall) one (workload, design) simulation.
+
+    ``workload`` is either a SPEC benchmark name (single-programming) or a
+    mix name ``M1``..``M8`` (multi-programming, four cores).
+    """
+    is_mix = workload in MIXES
+    num_cores = 4 if is_mix else 1
+    if references is None:
+        references = DEFAULT_MIX_REFS if is_mix else DEFAULT_SINGLE_REFS
+    config = make_config(design, num_cores=num_cores, seed=seed, asym=asym,
+                         controller=controller)
+    key = (f"v{CODE_VERSION}-{workload}-{references}-"
+           f"{config.cache_key()}")
+    if use_cache:
+        cached = _load_cached(key)
+        if cached is not None:
+            return cached
+    row_heat: Optional[Dict[int, int]] = None
+    if design in PROFILED_DESIGNS:
+        # The profile observes the whole program lifetime (all episodes)
+        # of a *different execution* of the program: allocation layout and
+        # phase interleaving differ between the profiling run and the
+        # measured run, as they would for any ahead-of-time profile.  This
+        # is what separates static (lifetime-hot) from dynamic (phase-hot)
+        # capture in the paper.
+        profile_refs = references * 2
+        profile_seed = derive_seed(seed, "profile-run")
+        row_heat = profile_row_heat(
+            config,
+            _workload_traces(workload, config, profile_seed,
+                             mode="lifetime"),
+            profile_refs)
+    traces = _workload_traces(workload, config, seed)
+    metrics = simulate(config, traces, references,
+                       workload_name=workload, row_heat=row_heat)
+    if use_cache:
+        _store_cached(key, metrics)
+    return metrics
+
+
+def run_trace_file(
+    path: str,
+    design: str = "das",
+    references: Optional[int] = None,
+    seed: int = 1,
+    asym: Optional[AsymmetricConfig] = None,
+    controller: Optional[ControllerConfig] = None,
+) -> RunMetrics:
+    """Run a workload from a trace file (``gap address R|W`` per line).
+
+    Trace files are produced by :func:`repro.trace.record.write_trace` or
+    the ``repro trace`` CLI subcommand.  Results are not cached (files
+    may change independently of their path).
+    """
+    from ..trace.record import read_trace
+
+    with open(path) as stream:
+        records = list(read_trace(stream))
+    if not records:
+        raise ValueError(f"trace file {path!r} is empty")
+    if references is None:
+        references = len(records)
+    config = make_config(design, num_cores=1, seed=seed, asym=asym,
+                         controller=controller)
+    return simulate(config, [iter(records)], references,
+                    workload_name=f"trace:{path}")
+
+
+def run_design_suite(
+    workload: str,
+    designs: Sequence[str],
+    references: Optional[int] = None,
+    seed: int = 1,
+    asym: Optional[AsymmetricConfig] = None,
+) -> Dict[str, RunMetrics]:
+    """Run one workload across several designs (baseline included)."""
+    results: Dict[str, RunMetrics] = {}
+    for design in ("standard", *designs):
+        if design not in results:
+            results[design] = run_workload(
+                workload, design, references, seed, asym)
+    return results

@@ -1,0 +1,134 @@
+"""Generic parameter-sweep utility over the cached runner.
+
+Figures 8 and 9 are specific instances of one shape: run a workload set
+across variants of :class:`AsymmetricConfig` (or designs, or controller
+configs) and tabulate improvement over the standard baseline.  This
+module exposes that shape as a public API so downstream users can study
+their own design points without writing a harness.
+
+>>> from repro.sim.sweep import sweep_asym
+>>> result = sweep_asym("my-study", {"tiny": dict(fast_ratio=1/16)},
+...                     workloads=["libquantum"], references=3000)
+>>> result.columns
+['workload', 'tiny']
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..common.config import AsymmetricConfig, ControllerConfig
+from ..common.statistics import gmean_improvement
+from ..experiments.report import ExperimentResult
+from .runner import run_workload
+
+
+def sweep_asym(
+    study_id: str,
+    variants: Mapping[str, Mapping[str, object]],
+    workloads: Sequence[str],
+    design: str = "das",
+    references: Optional[int] = None,
+    seed: int = 1,
+    use_cache: bool = True,
+) -> ExperimentResult:
+    """Sweep :class:`AsymmetricConfig` field overrides.
+
+    ``variants`` maps a column label to the field overrides of one design
+    point (e.g. ``{"1/16": {"fast_ratio": 1/16}}``).  Each cell is the %
+    performance improvement of ``design`` over standard DRAM.
+    """
+    if not variants:
+        raise ValueError("need at least one variant")
+    configs = {
+        label: AsymmetricConfig(**overrides)  # type: ignore[arg-type]
+        for label, overrides in variants.items()
+    }
+    return _sweep(study_id, configs, workloads, design, references, seed,
+                  use_cache, kind="asym")
+
+
+def sweep_designs(
+    study_id: str,
+    designs: Sequence[str],
+    workloads: Sequence[str],
+    references: Optional[int] = None,
+    seed: int = 1,
+    use_cache: bool = True,
+) -> ExperimentResult:
+    """Sweep design variants (each column one design name)."""
+    if not designs:
+        raise ValueError("need at least one design")
+    configs = {design: None for design in designs}
+    return _sweep(study_id, configs, workloads, None, references, seed,
+                  use_cache, kind="design")
+
+
+def sweep_controller(
+    study_id: str,
+    variants: Mapping[str, Mapping[str, object]],
+    workloads: Sequence[str],
+    design: str = "das",
+    references: Optional[int] = None,
+    seed: int = 1,
+    use_cache: bool = True,
+) -> ExperimentResult:
+    """Sweep :class:`ControllerConfig` field overrides.
+
+    The baseline for each cell uses the SAME controller variant, so the
+    columns isolate the design's benefit under each controller.
+    """
+    if not variants:
+        raise ValueError("need at least one variant")
+    configs = {
+        label: ControllerConfig(**overrides)  # type: ignore[arg-type]
+        for label, overrides in variants.items()
+    }
+    return _sweep(study_id, configs, workloads, design, references, seed,
+                  use_cache, kind="controller")
+
+
+def _sweep(study_id, configs, workloads, design, references, seed,
+           use_cache, kind) -> ExperimentResult:
+    labels = list(configs)
+    result = ExperimentResult(study_id, f"{kind} sweep",
+                              ["workload", *labels])
+    per_label: Dict[str, List[float]] = {label: [] for label in labels}
+    for workload in workloads:
+        row: Dict[str, object] = {"workload": workload}
+        default_base = None
+        for label in labels:
+            if kind == "asym":
+                base = default_base or run_workload(
+                    workload, "standard", references, seed,
+                    use_cache=use_cache)
+                default_base = base
+                metrics = run_workload(workload, design, references, seed,
+                                       asym=configs[label],
+                                       use_cache=use_cache)
+            elif kind == "design":
+                base = default_base or run_workload(
+                    workload, "standard", references, seed,
+                    use_cache=use_cache)
+                default_base = base
+                metrics = run_workload(workload, label, references, seed,
+                                       use_cache=use_cache)
+            else:  # controller
+                base = run_workload(workload, "standard", references,
+                                    seed, controller=configs[label],
+                                    use_cache=use_cache)
+                metrics = run_workload(workload, design, references, seed,
+                                       controller=configs[label],
+                                       use_cache=use_cache)
+            improvement = metrics.improvement_percent(base)
+            row[label] = improvement
+            per_label[label].append(improvement)
+        result.add_row(**row)
+    if len(workloads) > 1:
+        result.add_row(workload="gmean", **{
+            label: gmean_improvement(values)
+            for label, values in per_label.items()})
+    result.notes.append(
+        "values are % performance improvement over standard DRAM")
+    return result

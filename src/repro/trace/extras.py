@@ -1,0 +1,97 @@
+"""Extra synthetic workloads beyond the paper's SPEC roster.
+
+These model common datacenter/irregular patterns and are handy for
+studying DAS-DRAM outside the paper's evaluation.  They use the same
+profile machinery as :mod:`repro.trace.spec2006` and are runnable by
+name through ``run_workload`` and the CLI.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator
+
+from ..common.rng import make_rng
+from ..common.units import MiB
+from .record import AccessTuple
+from .spec2006 import BenchmarkProfile, _profile
+from .synthetic import (
+    AddressPattern,
+    GapModel,
+    HotspotPattern,
+    MixturePattern,
+    PhasedPattern,
+    PointerChase,
+    SequentialStream,
+    UniformRandom,
+    ZipfPattern,
+    compose,
+)
+
+
+def _kvstore(footprint: int, rng: random.Random) -> AddressPattern:
+    """In-memory key-value store: Zipf-hot values plus index walks."""
+    hot = ZipfPattern(0, footprint // 4, rng, alpha=1.1,
+                      write_fraction=0.3)
+    index = PointerChase(footprint // 4, footprint - footprint // 4, rng,
+                         write_fraction=0.05)
+    return HotspotPattern(hot, index, hot_fraction=0.75, rng=rng)
+
+
+def _graphwalk(footprint: int, rng: random.Random) -> AddressPattern:
+    """BFS-like graph traversal: frontier reuse over random neighbours."""
+    frontier = UniformRandom(0, footprint // 8, rng, write_fraction=0.2)
+    neighbours = UniformRandom(footprint // 8,
+                               footprint - footprint // 8, rng,
+                               write_fraction=0.05)
+    return HotspotPattern(frontier, neighbours, hot_fraction=0.4, rng=rng)
+
+
+def _streamcopy(footprint: int, rng: random.Random) -> AddressPattern:
+    """STREAM-copy: read one array, write another, relentlessly."""
+    half = footprint // 2
+    src = SequentialStream(0, half, rng, write_fraction=0.0)
+    dst = SequentialStream(half, half, rng, write_fraction=1.0)
+    return MixturePattern([(1.0, src), (1.0, dst)], rng)
+
+
+def _matrixsweep(footprint: int, rng: random.Random) -> AddressPattern:
+    """Blocked matrix traversal: phase-alternating row/column sweeps."""
+    half = footprint // 2
+    row_major = SequentialStream(0, half, rng, write_fraction=0.25)
+    col_major = __import__(
+        "repro.trace.synthetic", fromlist=["StridedPattern"]
+    ).StridedPattern(half, half, stride=8192, rng=rng, write_fraction=0.25)
+    return PhasedPattern([row_major, col_major], phase_length=30_000)
+
+
+#: Extra workloads, keyed by name.
+EXTRA_PROFILES: Dict[str, BenchmarkProfile] = {
+    p.name: p
+    for p in (
+        _profile("kvstore", "synthetic", 16.0, 0, 25.0, 0.25,
+                 "zipf+pointer-chase", _kvstore, lifetime_spread=4.0),
+        _profile("graphwalk", "synthetic", 24.0, 0, 30.0, 0.1,
+                 "frontier+random", _graphwalk, lifetime_spread=2.0),
+        _profile("streamcopy", "synthetic", 8.0, 0, 28.0, 0.5,
+                 "dual-stream", _streamcopy, lifetime_spread=6.0),
+        _profile("matrixsweep", "synthetic", 12.0, 0, 45.0, 0.25,
+                 "phased-row/col", _matrixsweep, lifetime_spread=3.0),
+    )
+}
+
+
+def extra_names():
+    """The extra workload names."""
+    return list(EXTRA_PROFILES)
+
+
+def build_extra_trace(name: str, seed: int) -> Iterator[AccessTuple]:
+    """Build the access stream for an extra workload (episode-free:
+    these run their full pattern directly)."""
+    profile = EXTRA_PROFILES[name]
+    rng = make_rng(seed, f"extra:{name}")
+    pattern = profile.builder(profile.footprint_bytes, rng)
+    gaps = GapModel(profile.mean_gap, profile.gap_jitter,
+                    make_rng(seed, f"extra-gaps:{name}"))
+    return compose(pattern, gaps)

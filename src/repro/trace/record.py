@@ -1,0 +1,71 @@
+"""Trace record model.
+
+A workload trace is an iterable of *accesses*.  For speed the hot path uses
+plain tuples ``(gap, address, is_write)``:
+
+* ``gap`` — number of non-memory instructions executed before this access;
+* ``address`` — byte address of the access;
+* ``is_write`` — True for stores.
+
+:class:`MemoryAccess` is the semantically named view used by tests, examples
+and the on-disk format; it is itself a tuple so the two are interchangeable.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Iterator, List, NamedTuple, Tuple
+
+#: Index of the instruction gap inside an access tuple.
+GAP = 0
+#: Index of the byte address inside an access tuple.
+ADDR = 1
+#: Index of the is-write flag inside an access tuple.
+IS_WRITE = 2
+
+#: Type alias for the raw hot-path representation.
+AccessTuple = Tuple[int, int, bool]
+
+
+class MemoryAccess(NamedTuple):
+    """One memory reference in a workload trace."""
+
+    gap: int
+    address: int
+    is_write: bool
+
+
+def materialize(trace: Iterable[AccessTuple]) -> List[MemoryAccess]:
+    """Realise a trace iterator into a list of named records."""
+    return [MemoryAccess(*access) for access in trace]
+
+
+def total_instructions(trace: Iterable[AccessTuple]) -> int:
+    """Instruction count represented by a trace (gaps + the accesses)."""
+    count = 0
+    for access in trace:
+        count += access[GAP] + 1
+    return count
+
+
+def write_trace(trace: Iterable[AccessTuple], stream: IO[str]) -> int:
+    """Write a trace in the plain-text format ``gap address R|W`` per line.
+
+    Returns the number of records written.
+    """
+    written = 0
+    for gap, address, is_write in trace:
+        stream.write(f"{gap} {address:#x} {'W' if is_write else 'R'}\n")
+        written += 1
+    return written
+
+
+def read_trace(stream: IO[str]) -> Iterator[MemoryAccess]:
+    """Parse the plain-text trace format produced by :func:`write_trace`."""
+    for line_number, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3 or parts[2] not in ("R", "W"):
+            raise ValueError(f"malformed trace line {line_number}: {line!r}")
+        yield MemoryAccess(int(parts[0]), int(parts[1], 0), parts[2] == "W")

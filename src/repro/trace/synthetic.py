@@ -1,0 +1,374 @@
+"""Composable synthetic address-pattern generators.
+
+The SPEC CPU2006 benchmark profiles (:mod:`repro.trace.spec2006`) are built
+by composing these primitives.  Each pattern produces an infinite stream of
+``(address, is_write)`` pairs; :func:`compose` welds a pattern to a
+:class:`GapModel` to produce full access tuples ``(gap, address, is_write)``.
+
+Patterns are seeded at construction and are deterministic: two patterns
+built with equal arguments and equal RNGs emit equal streams.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from .record import AccessTuple
+
+AddressPair = Tuple[int, bool]
+
+
+class GapModel:
+    """Produces instruction gaps between memory references.
+
+    ``mean_gap`` controls memory intensity (smaller = more memory bound);
+    ``jitter`` adds bounded uniform noise so requests do not arrive in
+    lockstep.  Fractional means are honoured in the long-run average via
+    error accumulation.
+    """
+
+    def __init__(self, mean_gap: float, jitter: float, rng: random.Random) -> None:
+        if mean_gap < 0:
+            raise ValueError("mean_gap must be non-negative")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self.mean_gap = mean_gap
+        self.jitter = jitter
+        self._rng = rng
+        self._carry = 0.0
+
+    def next_gap(self) -> int:
+        """Return the next integer instruction gap."""
+        target = self.mean_gap + self._carry
+        if self.jitter:
+            target += self._rng.uniform(-self.jitter, self.jitter)
+        gap = max(0, int(target))
+        self._carry = (self.mean_gap + self._carry) - gap
+        # Bound the carry so runaway drift is impossible while leaving
+        # enough headroom to repay gaps clamped at zero (keeps the
+        # long-run mean unbiased even when jitter exceeds the mean).
+        bound = self.mean_gap + self.jitter + 1.0
+        self._carry = max(-bound, min(self._carry, bound))
+        return gap
+
+
+def compose(pattern: "AddressPattern", gaps: GapModel) -> Iterator[AccessTuple]:
+    """Weld an address pattern and a gap model into a full access stream."""
+    for address, is_write in pattern.stream():
+        yield (gaps.next_gap(), address, is_write)
+
+
+class AddressPattern:
+    """Base class for address-pattern primitives."""
+
+    def stream(self) -> Iterator[AddressPair]:
+        """Yield an infinite stream of (address, is_write) pairs."""
+        raise NotImplementedError
+
+    def take(self, count: int) -> List[AddressPair]:
+        """Realise the first ``count`` pairs (testing helper)."""
+        return list(itertools.islice(self.stream(), count))
+
+
+class SequentialStream(AddressPattern):
+    """Line-by-line sweep over a region, wrapping around (e.g. libquantum)."""
+
+    def __init__(
+        self,
+        base: int,
+        size: int,
+        rng: random.Random,
+        line_bytes: int = 64,
+        write_fraction: float = 0.0,
+    ) -> None:
+        if size < line_bytes:
+            raise ValueError("region smaller than one line")
+        self.base = base
+        self.size = size
+        self.line_bytes = line_bytes
+        self.write_fraction = write_fraction
+        self._rng = rng
+
+    def stream(self) -> Iterator[AddressPair]:
+        base, size, line = self.base, self.size, self.line_bytes
+        wf = self.write_fraction
+        rand = self._rng.random
+        offset = 0
+        while True:
+            yield (base + offset, wf > 0 and rand() < wf)
+            offset += line
+            if offset + line > size:
+                offset = 0
+
+
+class StridedPattern(AddressPattern):
+    """Fixed-stride sweep over a region (stencil codes: cactusADM, leslie3d)."""
+
+    def __init__(
+        self,
+        base: int,
+        size: int,
+        stride: int,
+        rng: random.Random,
+        write_fraction: float = 0.0,
+    ) -> None:
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        if size <= stride:
+            raise ValueError("region must cover at least one stride")
+        self.base = base
+        self.size = size
+        self.stride = stride
+        self.write_fraction = write_fraction
+        self._rng = rng
+
+    def stream(self) -> Iterator[AddressPair]:
+        base, size, stride = self.base, self.size, self.stride
+        wf = self.write_fraction
+        rand = self._rng.random
+        offset = 0
+        lane = 0
+        while True:
+            yield (base + offset, wf > 0 and rand() < wf)
+            offset += stride
+            if offset >= size:
+                # Next interleaved lane through the same region.
+                lane = (lane + 64) % stride
+                offset = lane
+
+
+class UniformRandom(AddressPattern):
+    """Uniformly random line-granular accesses over a region (milc-like)."""
+
+    def __init__(
+        self,
+        base: int,
+        size: int,
+        rng: random.Random,
+        granularity: int = 64,
+        write_fraction: float = 0.0,
+    ) -> None:
+        if size < granularity:
+            raise ValueError("region smaller than one granule")
+        self.base = base
+        self.granules = size // granularity
+        self.granularity = granularity
+        self.write_fraction = write_fraction
+        self._rng = rng
+
+    def stream(self) -> Iterator[AddressPair]:
+        base, gran, granules = self.base, self.granularity, self.granules
+        wf = self.write_fraction
+        rng = self._rng
+        randrange = rng.randrange
+        rand = rng.random
+        while True:
+            yield (base + randrange(granules) * gran,
+                   wf > 0 and rand() < wf)
+
+
+class HotspotPattern(AddressPattern):
+    """Concentrated reuse: a hot region absorbing most of the accesses.
+
+    Models workloads whose working set is far smaller than their footprint
+    (omnetpp's event heap, mcf's tree root levels).
+    """
+
+    def __init__(
+        self,
+        hot: AddressPattern,
+        cold: AddressPattern,
+        hot_fraction: float,
+        rng: random.Random,
+    ) -> None:
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must lie in [0, 1]")
+        self.hot = hot
+        self.cold = cold
+        self.hot_fraction = hot_fraction
+        self._rng = rng
+
+    def stream(self) -> Iterator[AddressPair]:
+        hot_stream = self.hot.stream()
+        cold_stream = self.cold.stream()
+        hf = self.hot_fraction
+        rand = self._rng.random
+        while True:
+            if rand() < hf:
+                yield next(hot_stream)
+            else:
+                yield next(cold_stream)
+
+
+class ZipfPattern(AddressPattern):
+    """Zipf-distributed accesses over fixed-size blocks of a region.
+
+    Block ranks are shuffled across the region so popularity is not spatially
+    contiguous (which would trivially collapse into one DRAM row).
+    """
+
+    def __init__(
+        self,
+        base: int,
+        size: int,
+        rng: random.Random,
+        alpha: float = 1.0,
+        block_bytes: int = 4096,
+        line_bytes: int = 64,
+        write_fraction: float = 0.0,
+    ) -> None:
+        if size < block_bytes:
+            raise ValueError("region smaller than one block")
+        self.base = base
+        self.block_bytes = block_bytes
+        self.line_bytes = line_bytes
+        self.write_fraction = write_fraction
+        self._rng = rng
+        num_blocks = size // block_bytes
+        weights = [1.0 / (rank**alpha) for rank in range(1, num_blocks + 1)]
+        total = sum(weights)
+        cumulative = 0.0
+        self._cdf: List[float] = []
+        for weight in weights:
+            cumulative += weight / total
+            self._cdf.append(cumulative)
+        self._block_order = list(range(num_blocks))
+        rng.shuffle(self._block_order)
+
+    def stream(self) -> Iterator[AddressPair]:
+        rng = self._rng
+        rand = rng.random
+        randrange = rng.randrange
+        cdf = self._cdf
+        order = self._block_order
+        base, block, line = self.base, self.block_bytes, self.line_bytes
+        lines_per_block = block // line
+        wf = self.write_fraction
+        while True:
+            rank = bisect.bisect_left(cdf, rand())
+            if rank >= len(order):
+                rank = len(order) - 1
+            address = base + order[rank] * block + randrange(lines_per_block) * line
+            yield (address, wf > 0 and rand() < wf)
+
+
+class PointerChase(AddressPattern):
+    """Walk a random permutation cycle over a region (mcf, astar).
+
+    Spatial locality is destroyed by construction; temporal locality exists
+    only at the period of the full cycle.
+    """
+
+    def __init__(
+        self,
+        base: int,
+        size: int,
+        rng: random.Random,
+        granularity: int = 64,
+        write_fraction: float = 0.0,
+    ) -> None:
+        nodes = size // granularity
+        if nodes < 2:
+            raise ValueError("pointer chase needs at least two nodes")
+        self.base = base
+        self.granularity = granularity
+        self.write_fraction = write_fraction
+        self._rng = rng
+        # Sattolo's algorithm: a uniformly random single-cycle permutation.
+        successor = list(range(nodes))
+        for i in range(nodes - 1, 0, -1):
+            j = rng.randrange(i)
+            successor[i], successor[j] = successor[j], successor[i]
+        self._successor = successor
+        self._start = rng.randrange(nodes)
+
+    def stream(self) -> Iterator[AddressPair]:
+        successor = self._successor
+        base, gran = self.base, self.granularity
+        wf = self.write_fraction
+        rand = self._rng.random
+        node = self._start
+        while True:
+            yield (base + node * gran, wf > 0 and rand() < wf)
+            node = successor[node]
+
+
+class OffsetPattern(AddressPattern):
+    """Shift a sub-pattern's addresses by a fixed offset.
+
+    Used to place a benchmark *episode* at its position within the
+    program-lifetime footprint (see :mod:`repro.trace.spec2006`).
+    """
+
+    def __init__(self, inner: AddressPattern, offset: int) -> None:
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        self.inner = inner
+        self.offset = offset
+
+    def stream(self) -> Iterator[AddressPair]:
+        offset = self.offset
+        for address, is_write in self.inner.stream():
+            yield (address + offset, is_write)
+
+
+class PhasedPattern(AddressPattern):
+    """Cycle between sub-patterns every ``phase_length`` accesses.
+
+    Phase behaviour is what separates dynamic management (DAS) from static
+    profiling (SAS/CHARM): the hot set moves between phases.
+    """
+
+    def __init__(self, phases: Sequence[AddressPattern], phase_length: int) -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        if phase_length <= 0:
+            raise ValueError("phase_length must be positive")
+        self.phases = list(phases)
+        self.phase_length = phase_length
+
+    def stream(self) -> Iterator[AddressPair]:
+        streams = [phase.stream() for phase in self.phases]
+        length = self.phase_length
+        while True:
+            for stream in streams:
+                for _ in range(length):
+                    yield next(stream)
+
+
+class MixturePattern(AddressPattern):
+    """Probabilistic mixture of sub-patterns with fixed weights."""
+
+    def __init__(
+        self,
+        weighted: Sequence[Tuple[float, AddressPattern]],
+        rng: random.Random,
+    ) -> None:
+        if not weighted:
+            raise ValueError("need at least one component")
+        total = sum(weight for weight, _ in weighted)
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        cumulative = 0.0
+        self._cdf: List[float] = []
+        self._patterns: List[AddressPattern] = []
+        for weight, pattern in weighted:
+            if weight < 0:
+                raise ValueError("weights must be non-negative")
+            cumulative += weight / total
+            self._cdf.append(cumulative)
+            self._patterns.append(pattern)
+        self._rng = rng
+
+    def stream(self) -> Iterator[AddressPair]:
+        streams = [pattern.stream() for pattern in self._patterns]
+        cdf = self._cdf
+        rand = self._rng.random
+        while True:
+            index = bisect.bisect_left(cdf, rand())
+            if index >= len(streams):
+                index = len(streams) - 1
+            yield next(streams[index])

@@ -1,0 +1,165 @@
+"""Unit and property tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import Cache
+from repro.common.config import CacheConfig
+from repro.common.rng import make_rng
+
+
+def small_cache(capacity=1024, ways=2, line=64, replacement="lru"):
+    return Cache(CacheConfig(capacity, ways, line_bytes=line,
+                             replacement=replacement),
+                 rng=make_rng(1, "cache"))
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access(0, False) == (False, None)
+        assert cache.access(0, False) == (True, None)
+
+    def test_same_line_different_bytes_hit(self):
+        cache = small_cache()
+        cache.access(0, False)
+        hit, _ = cache.access(63, False)
+        assert hit
+
+    def test_different_lines_miss(self):
+        cache = small_cache()
+        cache.access(0, False)
+        hit, _ = cache.access(64, False)
+        assert not hit
+
+    def test_counts(self):
+        cache = small_cache()
+        cache.access(0, False)
+        cache.access(0, False)
+        cache.access(64, False)
+        assert cache.hits == 1
+        assert cache.misses == 2
+        assert cache.accesses == 3
+        assert cache.miss_rate == pytest.approx(2 / 3)
+
+    def test_reset_stats_preserves_contents(self):
+        cache = small_cache()
+        cache.access(0, False)
+        cache.reset_stats()
+        assert cache.misses == 0
+        assert cache.access(0, False) == (True, None)
+
+
+class TestEvictionAndWriteback:
+    def test_clean_eviction_no_writeback(self):
+        cache = small_cache(capacity=256, ways=2, line=64)  # 2 sets
+        sets = cache.num_sets
+        stride = sets * 64
+        cache.access(0, False)
+        cache.access(stride, False)
+        _, writeback = cache.access(2 * stride, False)
+        assert writeback is None
+
+    def test_dirty_eviction_writes_back(self):
+        cache = small_cache(capacity=256, ways=2, line=64)
+        stride = cache.num_sets * 64
+        cache.access(0, True)
+        cache.access(stride, False)
+        _, writeback = cache.access(2 * stride, False)
+        assert writeback == 0
+        assert cache.writebacks == 1
+
+    def test_lru_victim_order(self):
+        cache = small_cache(capacity=256, ways=2, line=64)
+        stride = cache.num_sets * 64
+        cache.access(0, False)
+        cache.access(stride, False)
+        cache.access(0, False)          # refresh line 0
+        cache.access(2 * stride, False)  # evicts line at `stride`
+        assert cache.contains(0)
+        assert not cache.contains(stride)
+
+    def test_capacity_never_exceeded(self):
+        cache = small_cache(capacity=512, ways=2)
+        for i in range(100):
+            cache.access(i * 64, i % 3 == 0)
+        assert cache.resident_lines() <= 512 // 64
+
+
+class TestFillAndInvalidate:
+    def test_fill_then_hit(self):
+        cache = small_cache()
+        assert cache.fill(0x100) is None
+        assert cache.access(0x100, False) == (True, None)
+
+    def test_fill_merges_dirty(self):
+        cache = small_cache()
+        cache.fill(0x100, dirty=False)
+        cache.fill(0x100, dirty=True)
+        assert cache.is_dirty(0x100)
+
+    def test_invalidate_returns_dirty_address(self):
+        cache = small_cache()
+        cache.access(0x40, True)
+        assert cache.invalidate(0x40) == 0x40
+        assert not cache.contains(0x40)
+
+    def test_invalidate_clean_returns_none(self):
+        cache = small_cache()
+        cache.access(0x40, False)
+        assert cache.invalidate(0x40) is None
+
+    def test_invalidate_absent_is_noop(self):
+        cache = small_cache()
+        assert cache.invalidate(0x40) is None
+
+
+class TestRandomReplacement:
+    def test_random_policy_works(self):
+        cache = small_cache(replacement="random")
+        for i in range(64):
+            cache.access(i * 64, False)
+        assert cache.resident_lines() <= 16
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.integers(0, 1 << 20), st.booleans()),
+                    max_size=300))
+    @settings(max_examples=40)
+    def test_hits_plus_misses_equals_accesses(self, operations):
+        cache = small_cache()
+        for address, is_write in operations:
+            cache.access(address, is_write)
+        assert cache.hits + cache.misses == len(operations)
+
+    @given(st.lists(st.tuples(st.integers(0, 1 << 16), st.booleans()),
+                    max_size=300))
+    @settings(max_examples=40)
+    def test_immediate_reaccess_always_hits(self, operations):
+        cache = small_cache()
+        for address, is_write in operations:
+            cache.access(address, is_write)
+            hit, _ = cache.access(address, False)
+            assert hit
+
+    @given(st.lists(st.tuples(st.integers(0, 1 << 18), st.booleans()),
+                    max_size=400))
+    @settings(max_examples=40)
+    def test_writebacks_only_for_written_lines(self, operations):
+        cache = small_cache(capacity=256, ways=2)
+        written = set()
+        for address, is_write in operations:
+            if is_write:
+                written.add(address // 64)
+            _, writeback = cache.access(address, is_write)
+            if writeback is not None:
+                assert writeback // 64 in written
+
+    @given(st.lists(st.integers(0, 1 << 18), max_size=400))
+    @settings(max_examples=40)
+    def test_resident_lines_bounded(self, addresses):
+        cache = small_cache(capacity=512, ways=4)
+        for address in addresses:
+            cache.access(address, False)
+        assert cache.resident_lines() <= 8

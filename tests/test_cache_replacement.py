@@ -1,0 +1,53 @@
+"""Unit tests for cache replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.common.rng import make_rng
+
+
+class TestLRUPolicy:
+    def test_victim_is_last_way(self):
+        assert LRUPolicy().victim(0, 4) == 3
+
+
+class TestFIFOPolicy:
+    def test_victim_is_last_way(self):
+        assert FIFOPolicy().victim(0, 8) == 7
+
+
+class TestRandomPolicy:
+    def test_in_range(self):
+        policy = RandomPolicy(make_rng(1, "r"))
+        for _ in range(100):
+            assert 0 <= policy.victim(0, 4) < 4
+
+    def test_covers_all_ways(self):
+        policy = RandomPolicy(make_rng(1, "r"))
+        victims = {policy.victim(0, 4) for _ in range(200)}
+        assert victims == {0, 1, 2, 3}
+
+
+class TestFactory:
+    def test_lru(self):
+        assert isinstance(make_policy("lru"), LRUPolicy)
+
+    def test_fifo(self):
+        assert isinstance(make_policy("fifo"), FIFOPolicy)
+
+    def test_random_requires_rng(self):
+        with pytest.raises(ValueError):
+            make_policy("random")
+
+    def test_random_with_rng(self):
+        assert isinstance(make_policy("random", make_rng(1, "r")),
+                          RandomPolicy)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_policy("plru")

@@ -1,0 +1,37 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7a" in out
+        assert "table1" in out
+
+
+class TestRun:
+    def test_run_table(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "System configuration" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_bench_small_run(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["bench", "libquantum", "--design", "standard",
+                     "--refs", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "mpki" in out
+        assert "libquantum" in out
+
+    def test_bench_rejects_bad_design(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "mcf", "--design", "warp"])

@@ -1,0 +1,121 @@
+"""Unit-scale runs across the figure parameter space.
+
+Each paper sweep (threshold, translation-cache size, group size, fast
+ratio, replacement policy) is exercised at tiny scale so configuration
+plumbing bugs surface long before the hour-scale full regeneration.
+"""
+
+import itertools
+
+import pytest
+
+from repro.common.config import AsymmetricConfig, DRAMGeometry, SystemConfig
+from repro.common.rng import make_rng
+from repro.sim.system import simulate
+from repro.trace.synthetic import GapModel, ZipfPattern, compose
+
+REFS = 4000
+
+
+def workload():
+    rng = make_rng(5, "sweep")
+    pattern = ZipfPattern(0, 96 * 1024, rng, alpha=1.1, block_bytes=2048)
+    gaps = GapModel(8.0, 1.0, make_rng(5, "sweep-gaps"))
+    return itertools.islice(compose(pattern, gaps), REFS)
+
+
+def run(asym: AsymmetricConfig, design: str = "das"):
+    config = SystemConfig(
+        geometry=DRAMGeometry(channels=1, ranks_per_channel=1,
+                              banks_per_rank=2, rows_per_bank=128,
+                              row_bytes=2048, line_bytes=64),
+        asym=asym,
+        design=design,
+        seed=5,
+    )
+    return simulate(config, [workload()], REFS, workload_name="sweep")
+
+
+BASE = dict(migration_group_rows=16, translation_cache_bytes=64)
+
+
+class TestThresholdSweep:
+    @pytest.mark.parametrize("threshold", [1, 2, 4, 8])
+    def test_runs(self, threshold):
+        metrics = run(AsymmetricConfig(promotion_threshold=threshold,
+                                       **BASE))
+        assert metrics.references > 0
+
+    def test_thresholds_differ(self):
+        t1 = run(AsymmetricConfig(promotion_threshold=1, **BASE))
+        t8 = run(AsymmetricConfig(promotion_threshold=8, **BASE))
+        assert t1.promotions != t8.promotions
+
+
+class TestTranslationCacheSweep:
+    @pytest.mark.parametrize("size", [16, 32, 64, 128])
+    def test_runs(self, size):
+        metrics = run(AsymmetricConfig(
+            migration_group_rows=16, translation_cache_bytes=size))
+        assert 0.0 <= metrics.translation_cache_hit_rate <= 1.0
+
+    def test_bigger_cache_hits_more(self):
+        small = run(AsymmetricConfig(migration_group_rows=16,
+                                     translation_cache_bytes=16))
+        large = run(AsymmetricConfig(migration_group_rows=16,
+                                     translation_cache_bytes=256))
+        assert (large.translation_cache_hit_rate
+                >= small.translation_cache_hit_rate - 0.02)
+
+
+class TestGroupSizeSweep:
+    @pytest.mark.parametrize("group_rows", [8, 16, 32, 64])
+    def test_runs(self, group_rows):
+        metrics = run(AsymmetricConfig(
+            migration_group_rows=group_rows, translation_cache_bytes=64))
+        assert metrics.references > 0
+
+
+class TestFastRatioSweep:
+    @pytest.mark.parametrize("ratio", [1 / 16, 1 / 8, 1 / 4])
+    def test_runs(self, ratio):
+        metrics = run(AsymmetricConfig(fast_ratio=ratio, **BASE))
+        assert metrics.references > 0
+
+    def test_larger_fast_level_serves_more_fast(self):
+        small = run(AsymmetricConfig(fast_ratio=1 / 16, **BASE))
+        large = run(AsymmetricConfig(fast_ratio=1 / 4, **BASE))
+        small_fast = small.access_locations["fast"]
+        large_fast = large.access_locations["fast"]
+        assert large_fast >= small_fast - 0.05
+
+
+class TestReplacementSweep:
+    @pytest.mark.parametrize("policy",
+                             ["lru", "random", "sequential", "counter"])
+    def test_runs(self, policy):
+        metrics = run(AsymmetricConfig(replacement=policy, **BASE))
+        assert metrics.promotions >= 0
+
+    def test_policies_close_on_large_fast_level(self):
+        """Paper: replacement policy differences are negligible."""
+        times = {
+            policy: run(AsymmetricConfig(replacement=policy,
+                                         **BASE)).total_time_ns
+            for policy in ("lru", "random")
+        }
+        spread = abs(times["lru"] - times["random"]) / times["lru"]
+        assert spread < 0.15
+
+
+class TestMigrationLatencySweep:
+    @pytest.mark.parametrize("latency", [0.0, 73.125, 146.25, 585.0])
+    def test_runs(self, latency):
+        metrics = run(AsymmetricConfig(migration_latency_ns=latency,
+                                       **BASE))
+        assert metrics.references > 0
+
+    def test_huge_latency_not_faster(self):
+        cheap = run(AsymmetricConfig(migration_latency_ns=73.125, **BASE))
+        costly = run(AsymmetricConfig(migration_latency_ns=1170.0, **BASE))
+        assert costly.total_time_ns >= cheap.total_time_ns * 0.98

@@ -1,0 +1,204 @@
+"""Tests for the memory-system engine (controller)."""
+
+import math
+
+import pytest
+
+from repro.common.config import ControllerConfig
+from repro.controller.controller import (
+    ManagementPolicy,
+    MemorySystem,
+    Translation,
+)
+from repro.controller.request import TRANSLATION_READ
+from repro.dram.channel import IO_DELAY_NS
+from repro.dram.device import DRAMDevice, homogeneous_classifier
+from repro.dram.timing import SLOW, ddr3_1600_slow
+
+
+def make_system(tiny_geometry, manager=None, **controller_kwargs):
+    device = DRAMDevice(tiny_geometry, {SLOW: ddr3_1600_slow()},
+                        homogeneous_classifier(SLOW))
+    config = ControllerConfig(**controller_kwargs)
+    return MemorySystem(device, config, manager)
+
+
+class TestReadPath:
+    def test_single_read_latency(self, tiny_geometry):
+        system = make_system(tiny_geometry)
+        slow = ddr3_1600_slow()
+        request = system.submit(0.0, 0x1000, False)
+        completion = system.resolve(request)
+        expected = slow.tRCD + slow.tCL + slow.tBURST + IO_DELAY_NS
+        assert completion == pytest.approx(expected)
+
+    def test_row_hit_faster_than_cold(self, tiny_geometry):
+        system = make_system(tiny_geometry)
+        first = system.submit(0.0, 0x0, False)
+        system.resolve(first)
+        # Same row, next line.
+        second = system.submit(first.completion_ns, 0x40, False)
+        system.resolve(second)
+        first_latency = first.completion_ns - 0.0
+        second_latency = second.completion_ns - second.arrival_ns
+        assert second_latency < first_latency
+
+    def test_bank_parallelism(self, tiny_geometry):
+        system = make_system(tiny_geometry)
+        # Two reads to different banks submitted together overlap.
+        a = system.submit(0.0, 0x0, False)
+        decoded_a = system.device.mapping.decode(0x0)
+        other = None
+        for address in range(0, 1 << 18, 64):
+            if (system.device.mapping.decode(address).flat_bank(
+                    tiny_geometry) != decoded_a.flat_bank(tiny_geometry)):
+                other = address
+                break
+        assert other is not None
+        b = system.submit(0.0, other, False)
+        system.resolve(a)
+        system.resolve(b)
+        serial = 2 * (a.completion_ns - 0.0)
+        assert b.completion_ns < serial
+
+    def test_flush_resolves_everything(self, tiny_geometry):
+        system = make_system(tiny_geometry)
+        requests = [system.submit(float(i), i * 4096, False)
+                    for i in range(10)]
+        system.flush()
+        assert all(r.resolved for r in requests)
+        assert system.pending_requests() == 0
+
+    def test_stats_counted(self, tiny_geometry):
+        system = make_system(tiny_geometry)
+        system.submit(0.0, 0x0, False)
+        system.submit(0.0, 0x40, False)
+        system.submit(0.0, 0x2000, True)
+        system.flush()
+        assert system.reads == 2
+        assert system.writes == 1
+        assert system.demand_accesses == 3
+        assert system.row_buffer_hits >= 1
+
+
+class TestDrainSafety:
+    def test_drain_respects_t_safe(self, tiny_geometry):
+        system = make_system(tiny_geometry)
+        request = system.submit(1000.0, 0x0, False)
+        system.drain(500.0)
+        assert not request.resolved
+        system.drain(1001.0)
+        assert request.resolved
+
+    def test_lower_bound_monotone(self, tiny_geometry):
+        system = make_system(tiny_geometry)
+        request = system.submit(100.0, 0x0, False)
+        bound1 = system.lower_bound(request)
+        system.drain(50.0)
+        bound2 = system.lower_bound(request)
+        assert bound2 >= bound1 - 1e-9
+        system.flush()
+        assert system.lower_bound(request) == request.completion_ns
+
+
+class TestWriteDrain:
+    def test_writes_eventually_scheduled(self, tiny_geometry):
+        system = make_system(tiny_geometry)
+        writes = [system.submit(0.0, i * 4096, True) for i in range(8)]
+        system.flush()
+        assert all(w.resolved for w in writes)
+
+    def test_reads_prioritised_over_writes(self, tiny_geometry):
+        system = make_system(tiny_geometry, write_queue_entries=32)
+        write = system.submit(0.0, 0x8000, True)
+        read = system.submit(0.0, 0x0, False)
+        system.resolve(read)
+        # The read resolves without the write being forced first.
+        assert read.resolved
+        system.flush()
+        assert write.resolved
+
+    def test_high_watermark_triggers_drain(self, tiny_geometry):
+        system = make_system(tiny_geometry, write_queue_entries=4,
+                             write_drain_high=0.5, write_drain_low=0.25)
+        for i in range(4):
+            system.submit(0.0, (i * 64 + (1 << 16)), True)
+        reads = [system.submit(float(i), i * 64, False) for i in range(20)]
+        for read in reads:
+            system.resolve(read)
+        system.flush()
+        assert system.writes == 4
+
+
+class TestTranslationChain:
+    class ChainManager(ManagementPolicy):
+        """Forces a table fetch before every access to row >= 64."""
+
+        def translate(self, logical_row, flat_bank, row, is_write, now):
+            if row >= 64:
+                return Translation(row, delay_ns=5.0, table_row=0)
+            return Translation(row)
+
+    def _address_with_row(self, system, predicate):
+        for address in range(0, 1 << 18, 2048):
+            if predicate(system.device.mapping.decode(address).row):
+                return address
+        raise AssertionError("no matching address found")
+
+    def test_chained_request_serialises(self, tiny_geometry):
+        chained = make_system(tiny_geometry, manager=self.ChainManager())
+        plain = make_system(tiny_geometry)
+        address = self._address_with_row(chained, lambda r: r >= 64)
+        request = chained.submit(0.0, address, False)
+        chained.resolve(request)
+        reference = plain.submit(0.0, address, False)
+        plain.resolve(reference)
+        assert request.completion_ns > reference.completion_ns
+        assert chained.xlat_reads == 1
+
+    def test_untranslated_rows_unaffected(self, tiny_geometry):
+        chained = make_system(tiny_geometry, manager=self.ChainManager())
+        address = self._address_with_row(chained, lambda r: r < 64)
+        request = chained.submit(0.0, address, False)
+        chained.resolve(request)
+        assert chained.xlat_reads == 0
+
+
+class TestAccessLocations:
+    def test_fractions_sum_to_one(self, tiny_geometry):
+        system = make_system(tiny_geometry)
+        for i in range(50):
+            system.submit(float(i), (i % 7) * 4096, False)
+        system.flush()
+        fractions = system.access_location_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_empty_system_fractions(self, tiny_geometry):
+        system = make_system(tiny_geometry)
+        fractions = system.access_location_fractions()
+        assert fractions == {"row_buffer": 0.0, "fast": 0.0, "slow": 0.0}
+
+
+class TestFootprintAndReset:
+    def test_footprint_counts_distinct_rows(self, tiny_geometry):
+        system = make_system(tiny_geometry)
+        system.submit(0.0, 0x0, False)
+        system.submit(0.0, 0x40, False)   # same row
+        system.flush()
+        assert system.footprint_bytes() == tiny_geometry.row_bytes
+
+    def test_reset_stats(self, tiny_geometry):
+        system = make_system(tiny_geometry)
+        system.submit(0.0, 0x0, False)
+        system.flush()
+        system.reset_stats()
+        assert system.reads == 0
+        assert system.footprint_bytes() == 0
+
+    def test_stats_group_exports(self, tiny_geometry):
+        system = make_system(tiny_geometry)
+        system.submit(0.0, 0x0, False)
+        system.flush()
+        data = system.stats_group().as_dict()
+        assert data["reads"] == 1
+        assert "mean_read_latency_ns" in data

@@ -1,0 +1,139 @@
+"""Cross-validation: request-atomic engine vs the command-level model.
+
+The production controller schedules each request's commands atomically
+(DESIGN.md "Request-level DRAM engine").  These tests drive the same read
+streams through the cycle-stepped command-level reference
+(:mod:`repro.dram.detailed`) and bound the divergence, substantiating the
+approximation claim.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import ControllerConfig, DRAMGeometry
+from repro.common.rng import make_rng
+from repro.controller.controller import MemorySystem
+from repro.dram.detailed import DetailedChannel, DetailedRequest
+from repro.dram.device import DRAMDevice, homogeneous_classifier
+from repro.dram.timing import SLOW, ddr3_1600_slow
+
+
+def one_channel_geometry():
+    return DRAMGeometry(channels=1, ranks_per_channel=1, banks_per_rank=4,
+                        rows_per_bank=256, row_bytes=2048, line_bytes=64)
+
+
+def run_atomic(geometry, accesses):
+    """accesses: list of (arrival, bank, row, column)."""
+    device = DRAMDevice(geometry, {SLOW: ddr3_1600_slow()},
+                        homogeneous_classifier(SLOW))
+    # Build addresses hitting the requested (bank,row,column) exactly.
+    from repro.dram.address import DecodedAddress
+
+    mapping = DRAMDevice(geometry, {SLOW: ddr3_1600_slow()}).mapping
+    system = MemorySystem(device, ControllerConfig())
+    requests = []
+    for arrival, bank, row, column in accesses:
+        address = mapping.encode(DecodedAddress(0, 0, bank, row, column))
+        requests.append(system.submit(arrival, address, False))
+    system.flush()
+    return [r.completion_ns for r in requests]
+
+
+def run_detailed(geometry, accesses):
+    channel = DetailedChannel(geometry.banks_per_rank, ddr3_1600_slow())
+    requests = [
+        DetailedRequest(arrival_ns=arrival, bank=bank, row=row,
+                        request_id=i)
+        for i, (arrival, bank, row, _column) in enumerate(accesses)
+    ]
+    channel.run(list(requests))
+    return [r.completion_ns for r in requests]
+
+
+def random_accesses(rng, count, banks=4, rows=32, spacing=40.0):
+    accesses = []
+    now = 0.0
+    for _ in range(count):
+        now += rng.random() * spacing
+        accesses.append((now, rng.randrange(banks), rng.randrange(rows),
+                         rng.randrange(8)))
+    return accesses
+
+
+class TestSingleRequestAgreement:
+    def test_cold_read_identical(self):
+        geometry = one_channel_geometry()
+        accesses = [(0.0, 0, 5, 0)]
+        atomic = run_atomic(geometry, accesses)[0]
+        detailed = run_detailed(geometry, accesses)[0]
+        # Cycle quantisation in the reference: within 2 DRAM cycles.
+        assert detailed == pytest.approx(atomic, abs=2.6)
+
+    def test_row_hit_identical(self):
+        geometry = one_channel_geometry()
+        accesses = [(0.0, 0, 5, 0), (200.0, 0, 5, 1)]
+        atomic = run_atomic(geometry, accesses)
+        detailed = run_detailed(geometry, accesses)
+        for a, d in zip(atomic, detailed):
+            assert d == pytest.approx(a, abs=2.6)
+
+    def test_row_conflict_close(self):
+        geometry = one_channel_geometry()
+        accesses = [(0.0, 0, 5, 0), (1.0, 0, 9, 0)]
+        atomic = run_atomic(geometry, accesses)
+        detailed = run_detailed(geometry, accesses)
+        assert detailed[1] == pytest.approx(atomic[1], abs=5.2)
+
+
+class TestStreamAgreement:
+    """Bounds on the request-atomic approximation under load.
+
+    The production engine schedules a request's commands atomically in
+    arrival order, so under dense random traffic it cannot start a later
+    request's activation ahead of an earlier request's reserved bus slot.
+    Relative to the per-cycle interleaving reference this is
+    *pessimistic* (never optimistic), and boundedly so; both directions
+    are pinned here and the bound is cited in DESIGN.md.  The streams
+    used here (60 conflicting requests at ~20 ns spacing over 4 banks)
+    are far denser than anything the ROB-limited cores generate, so
+    these are worst-case bounds, not typical divergence.
+    """
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_atomic_pessimism_bounded(self, seed):
+        geometry = one_channel_geometry()
+        rng = make_rng(seed, "xval")
+        accesses = random_accesses(rng, 60)
+        atomic = run_atomic(geometry, accesses)
+        detailed = run_detailed(geometry, accesses)
+        mean_atomic = sum(a - t for (t, *_), a
+                          in zip(accesses, atomic)) / len(accesses)
+        mean_detailed = sum(d - t for (t, *_), d
+                            in zip(accesses, detailed)) / len(accesses)
+        assert mean_atomic >= mean_detailed * 0.85  # never optimistic
+        assert mean_atomic <= mean_detailed * 3.5   # boundedly pessimistic
+
+    def test_bank_parallel_stream(self):
+        geometry = one_channel_geometry()
+        accesses = [(i * 5.0, i % 4, i // 4, 0) for i in range(40)]
+        atomic = run_atomic(geometry, accesses)
+        detailed = run_detailed(geometry, accesses)
+        assert max(detailed) <= max(atomic) * 1.1
+        assert max(atomic) <= max(detailed) * 2.0
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_divergence_bounds_hold_generally(self, seed):
+        geometry = one_channel_geometry()
+        rng = make_rng(seed, "xval2")
+        accesses = random_accesses(rng, 30)
+        atomic = run_atomic(geometry, accesses)
+        detailed = run_detailed(geometry, accesses)
+        total_atomic = sum(a - t for (t, *_), a
+                           in zip(accesses, atomic))
+        total_detailed = sum(d - t for (t, *_), d
+                             in zip(accesses, detailed))
+        assert total_atomic >= 0.7 * total_detailed
+        assert total_atomic <= 4.0 * total_detailed

@@ -1,0 +1,63 @@
+"""Tests for DRAM device assembly."""
+
+import pytest
+
+from repro.dram.device import DRAMDevice, homogeneous_classifier
+from repro.dram.timing import FAST, SLOW, ddr3_1600_fast, ddr3_1600_slow
+
+
+@pytest.fixture
+def device(tiny_geometry):
+    return DRAMDevice(
+        tiny_geometry,
+        {SLOW: ddr3_1600_slow(), FAST: ddr3_1600_fast()},
+    )
+
+
+class TestAssembly:
+    def test_bank_count(self, device, tiny_geometry):
+        assert len(device.banks) == tiny_geometry.total_banks
+
+    def test_channel_count(self, device, tiny_geometry):
+        assert len(device.channels) == tiny_geometry.channels
+
+    def test_banks_of_same_rank_share_rank_object(self, device,
+                                                  tiny_geometry):
+        per_rank = tiny_geometry.banks_per_rank
+        assert device.banks[0].rank is device.banks[per_rank - 1].rank
+
+    def test_banks_of_same_channel_share_channel(self, device,
+                                                 tiny_geometry):
+        assert device.banks[0].channel is device.banks[1].channel
+
+    def test_bank_lookup_by_decoded(self, device):
+        decoded = device.mapping.decode(0x4000)
+        bank = device.bank(decoded)
+        assert bank is device.bank_by_flat(
+            decoded.flat_bank(device.geometry))
+
+
+class TestClassifiers:
+    def test_homogeneous_slow(self, tiny_geometry):
+        device = DRAMDevice(tiny_geometry, {SLOW: ddr3_1600_slow()},
+                            homogeneous_classifier(SLOW))
+        assert device.banks[0].classify(7) == SLOW
+
+    def test_homogeneous_fast(self, tiny_geometry):
+        device = DRAMDevice(
+            tiny_geometry,
+            {SLOW: ddr3_1600_slow(), FAST: ddr3_1600_fast()},
+            homogeneous_classifier(FAST))
+        assert device.banks[0].classify(7) == FAST
+
+    def test_custom_classifier_gets_flat_bank(self, tiny_geometry):
+        seen = []
+
+        def classify(flat_bank, row):
+            seen.append((flat_bank, row))
+            return SLOW
+
+        device = DRAMDevice(tiny_geometry, {SLOW: ddr3_1600_slow()},
+                            classify)
+        device.banks[1].classify(42)
+        assert seen == [(1, 42)]

@@ -1,0 +1,76 @@
+"""Tests for DRAM timing parameter sets."""
+
+import pytest
+
+from repro.dram.timing import (
+    TimingParams,
+    charm_fast,
+    ddr3_1600_fast,
+    ddr3_1600_slow,
+    migration_latency_ns,
+)
+
+
+class TestSlowTimings:
+    def test_table1_values(self):
+        slow = ddr3_1600_slow()
+        assert slow.tRCD == pytest.approx(13.75)
+        assert slow.tRC == pytest.approx(48.75)
+
+    def test_trc_is_tras_plus_trp(self):
+        slow = ddr3_1600_slow()
+        assert slow.tRC == pytest.approx(slow.tRAS + slow.tRP)
+
+    def test_clock_is_800mhz(self):
+        assert ddr3_1600_slow().tCK == pytest.approx(1.25)
+
+
+class TestFastTimings:
+    def test_table1_values(self):
+        fast = ddr3_1600_fast()
+        assert fast.tRCD == pytest.approx(8.75)
+        assert fast.tRC == pytest.approx(25.0)
+
+    def test_fast_strictly_faster(self):
+        fast, slow = ddr3_1600_fast(), ddr3_1600_slow()
+        assert fast.tRCD < slow.tRCD
+        assert fast.tRAS < slow.tRAS
+        assert fast.tRP < slow.tRP
+
+    def test_interface_timings_unchanged(self):
+        fast, slow = ddr3_1600_fast(), ddr3_1600_slow()
+        assert fast.tCL == slow.tCL
+        assert fast.tBURST == slow.tBURST
+
+
+class TestCharm:
+    def test_optimised_column_access(self):
+        assert charm_fast().tCL < ddr3_1600_fast().tCL
+
+    def test_row_timings_match_fast(self):
+        assert charm_fast().tRC == ddr3_1600_fast().tRC
+
+
+class TestMigrationLatency:
+    def test_table1_value(self):
+        assert migration_latency_ns(ddr3_1600_slow()) == pytest.approx(
+            146.25)
+
+    def test_row_move_is_1_5_trc(self):
+        assert migration_latency_ns(ddr3_1600_slow(), 1.5) == pytest.approx(
+            73.125)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            migration_latency_ns(ddr3_1600_slow(), 0.0)
+
+
+class TestValidation:
+    def test_rejects_non_positive_parameter(self):
+        with pytest.raises(ValueError):
+            TimingParams(tRCD=0.0)
+
+    def test_scaled_override(self):
+        scaled = ddr3_1600_slow().scaled(tCL=10.0)
+        assert scaled.tCL == 10.0
+        assert scaled.tRCD == 13.75

@@ -1,0 +1,51 @@
+"""Tests for the extra (non-SPEC) workload registry."""
+
+import itertools
+
+import pytest
+
+from repro.sim.runner import run_workload
+from repro.trace.extras import EXTRA_PROFILES, build_extra_trace, extra_names
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(extra_names()) == {"kvstore", "graphwalk",
+                                      "streamcopy", "matrixsweep"}
+
+    def test_no_collision_with_spec(self):
+        from repro.trace.spec2006 import PROFILES
+
+        assert not set(EXTRA_PROFILES) & set(PROFILES)
+
+    @pytest.mark.parametrize("name", sorted(EXTRA_PROFILES))
+    def test_trace_shape(self, name):
+        trace = build_extra_trace(name, seed=2)
+        for gap, address, is_write in itertools.islice(trace, 200):
+            assert gap >= 0
+            assert address >= 0
+            assert isinstance(is_write, bool)
+
+    @pytest.mark.parametrize("name", sorted(EXTRA_PROFILES))
+    def test_deterministic(self, name):
+        a = list(itertools.islice(build_extra_trace(name, 7), 100))
+        b = list(itertools.islice(build_extra_trace(name, 7), 100))
+        assert a == b
+
+
+class TestRunnable:
+    def test_run_workload_by_name(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        metrics = run_workload("kvstore", "das", references=4000)
+        assert metrics.workload == "kvstore"
+        assert metrics.references > 0
+
+    def test_streamcopy_write_heavy(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        metrics = run_workload("streamcopy", "standard", references=4000)
+        assert metrics.dram_accesses > 0
+
+    def test_profiled_design_works_on_extras(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        metrics = run_workload("kvstore", "sas", references=3000)
+        assert metrics.design == "sas"

@@ -1,0 +1,79 @@
+"""The headline reproduction as a test: Figure 7a's ordering must hold.
+
+Runs a four-benchmark slice of the single-programming evaluation at
+reduced scale and asserts the paper's qualitative results:
+
+* every asymmetric design beats standard DRAM,
+* dynamic (DAS) beats the static profiled designs on average,
+* DAS captures most of the all-fast potential (paper: > 80%),
+* free migration is at least as fast as priced migration,
+* FS-DRAM is the upper bound.
+
+This is the repo's most important regression test: if a model change
+breaks the paper's shape, it fails here before any figure is rendered.
+"""
+
+import pytest
+
+from repro.common.statistics import gmean_improvement
+from repro.sim.runner import run_workload
+
+REFS = 60_000
+BENCHMARKS = ("libquantum", "lbm", "mcf", "omnetpp")
+DESIGNS = ("sas", "charm", "das", "das_fm", "fs")
+
+
+@pytest.fixture(scope="module")
+def improvements():
+    table = {}
+    for benchmark in BENCHMARKS:
+        base = run_workload(benchmark, "standard", references=REFS)
+        table[benchmark] = {
+            design: run_workload(benchmark, design,
+                                 references=REFS).improvement_percent(base)
+            for design in DESIGNS
+        }
+    return table
+
+
+@pytest.fixture(scope="module")
+def gmeans(improvements):
+    return {
+        design: gmean_improvement(
+            [improvements[b][design] for b in BENCHMARKS])
+        for design in DESIGNS
+    }
+
+
+class TestHeadlineOrdering:
+    def test_every_design_beats_standard(self, improvements):
+        for benchmark, row in improvements.items():
+            for design, value in row.items():
+                assert value > 0, (benchmark, design, value)
+
+    def test_dynamic_beats_static_on_average(self, gmeans):
+        assert gmeans["das"] > gmeans["sas"]
+        assert gmeans["das"] > gmeans["charm"]
+
+    def test_das_captures_most_of_fs_potential(self, gmeans):
+        # Paper: > 80% at full scale (150k-reference runs reach ~0.9);
+        # at this reduced scale the warmup transient (first-touch
+        # promotions) still weighs on mcf, so the bound is looser.
+        assert gmeans["das"] >= 0.65 * gmeans["fs"]
+
+    def test_free_migration_upper_bounds_das(self, gmeans):
+        assert gmeans["das_fm"] >= gmeans["das"] - 0.5
+
+    def test_fs_is_the_upper_bound(self, gmeans):
+        for design in ("sas", "charm", "das"):
+            assert gmeans["fs"] >= gmeans[design] - 0.5
+
+    def test_charm_at_least_sas(self, gmeans):
+        # CHARM = SAS + faster fast-level column access.
+        assert gmeans["charm"] >= gmeans["sas"] - 0.5
+
+    def test_migration_overhead_small(self, gmeans):
+        """The gap between priced and free migration stays a small
+        fraction of the total gain (paper: 0.45 points)."""
+        overhead = gmeans["das_fm"] - gmeans["das"]
+        assert overhead <= 0.25 * gmeans["das_fm"]

@@ -1,0 +1,107 @@
+"""Tests for the IDD-based power model."""
+
+import pytest
+
+from repro.common.config import ControllerConfig, SystemConfig
+from repro.core.variants import build_memory_system
+from repro.dram.timing import FAST, SLOW, ddr3_1600_fast, ddr3_1600_slow
+from repro.energy.idd import (
+    FAST_ARRAY_CURRENT_SCALE,
+    IDDCurrents,
+    IDDPowerModel,
+    PowerBreakdown,
+)
+
+
+def driven_system(design="standard", accesses=200):
+    system = build_memory_system(SystemConfig(design=design))
+    now = 0.0
+    for i in range(accesses):
+        request = system.submit(now, (i * 8191 * 64) % (1 << 26),
+                                i % 4 == 0)
+        system.resolve(request) if not request.is_write else None
+        now += 60.0
+    system.flush()
+    return system, now
+
+
+class TestCurrents:
+    def test_defaults_sane(self):
+        c = IDDCurrents()
+        assert c.idd0 > c.idd3n > c.idd2n
+        assert c.idd4r > c.idd0
+
+    def test_rejects_inverted_standby(self):
+        with pytest.raises(ValueError):
+            IDDCurrents(idd2n=80.0, idd3n=50.0)
+
+    def test_rejects_bad_vdd(self):
+        with pytest.raises(ValueError):
+            IDDCurrents(vdd=0.0)
+
+
+class TestActivationEnergy:
+    def test_positive(self):
+        model = IDDPowerModel()
+        energy = model._activation_energy_nj(ddr3_1600_slow(), 1.0)
+        assert energy > 0
+
+    def test_fast_class_cheaper(self):
+        model = IDDPowerModel()
+        slow_energy = model._activation_energy_nj(ddr3_1600_slow(), 1.0)
+        fast_energy = model._activation_energy_nj(
+            ddr3_1600_fast(), FAST_ARRAY_CURRENT_SCALE)
+        assert fast_energy < slow_energy
+
+
+class TestEstimate:
+    def test_breakdown_fields(self):
+        system, elapsed = driven_system()
+        model = IDDPowerModel()
+        breakdown = model.estimate(system, elapsed, system.device.timings)
+        assert breakdown.total_mw > 0
+        data = breakdown.as_dict()
+        assert set(data) == {"activate_mw", "read_mw", "write_mw",
+                             "refresh_mw", "background_mw", "total_mw"}
+        assert data["total_mw"] == pytest.approx(
+            sum(v for k, v in data.items() if k != "total_mw"))
+
+    def test_background_within_standby_bounds(self):
+        system, elapsed = driven_system()
+        model = IDDPowerModel()
+        breakdown = model.estimate(system, elapsed, system.device.timings)
+        c = model.currents
+        assert (c.idd2n * c.vdd <= breakdown.background_mw
+                <= c.idd3n * c.vdd + 1e-9)
+
+    def test_fs_activation_power_below_standard(self):
+        std_system, std_elapsed = driven_system("standard")
+        fs_system, fs_elapsed = driven_system("fs")
+        model = IDDPowerModel()
+        std = model.estimate(std_system, std_elapsed,
+                             std_system.device.timings)
+        fs = model.estimate(fs_system, fs_elapsed,
+                            fs_system.device.timings)
+        assert fs.activate_mw < std.activate_mw
+
+    def test_refresh_power_counted(self, tiny_geometry):
+        from repro.controller.controller import MemorySystem
+        from repro.dram.device import DRAMDevice, homogeneous_classifier
+
+        slow = ddr3_1600_slow()
+        device = DRAMDevice(tiny_geometry, {SLOW: slow},
+                            homogeneous_classifier(SLOW))
+        system = MemorySystem(device,
+                              ControllerConfig(refresh_enabled=True))
+        horizon = 20 * slow.tREFI
+        for i in range(200):
+            system.submit(i * horizon / 200, i * 4096, False)
+        system.flush()
+        model = IDDPowerModel()
+        breakdown = model.estimate(system, horizon, device.timings)
+        assert breakdown.refresh_mw > 0
+
+    def test_rejects_empty_window(self):
+        system, _ = driven_system()
+        with pytest.raises(ValueError):
+            IDDPowerModel().estimate(system, 0.0, system.device.timings)

@@ -1,0 +1,143 @@
+"""End-to-end integration tests: design orderings on micro workloads.
+
+These run the whole stack (trace -> caches -> core -> controller -> DRAM
+-> management) on purpose-built miniature workloads and assert the
+directional results the paper reports.
+"""
+
+import itertools
+
+import pytest
+
+from repro.common.config import AsymmetricConfig
+from repro.common.rng import make_rng
+from repro.sim.system import profile_row_heat, simulate
+from repro.trace.synthetic import GapModel, UniformRandom, ZipfPattern, compose
+
+
+def hot_workload(tiny_config, count=6000):
+    """A strongly reusing workload: Zipf over a region larger than the
+    LLC but comfortably smaller than the tiny config's fast level."""
+    rng = make_rng(11, "hot")
+    pattern = ZipfPattern(0, 80 * 1024, rng, alpha=1.15, block_bytes=2048)
+    gaps = GapModel(6.0, 1.0, make_rng(11, "gaps"))
+    return itertools.islice(compose(pattern, gaps), count)
+
+
+def scattered_workload(tiny_config, count=6000):
+    """A low-reuse workload: uniform random over most of memory."""
+    rng = make_rng(12, "cold")
+    pattern = UniformRandom(0, 256 * 1024, rng)
+    gaps = GapModel(6.0, 1.0, make_rng(12, "gaps"))
+    return itertools.islice(compose(pattern, gaps), count)
+
+
+def run(tiny_config, design, workload_factory, row_heat=None, count=6000):
+    config = tiny_config.replace(design=design)
+    return simulate(config, [workload_factory(tiny_config, count)], count,
+                    workload_name="micro", row_heat=row_heat)
+
+
+class TestDesignOrdering:
+    @pytest.mark.parametrize("workload", [hot_workload, scattered_workload])
+    def test_fs_beats_standard(self, tiny_config, workload):
+        std = run(tiny_config, "standard", workload)
+        fs = run(tiny_config, "fs", workload)
+        assert fs.total_time_ns < std.total_time_ns
+
+    def test_das_beats_standard_on_reuse(self, tiny_config):
+        std = run(tiny_config, "standard", hot_workload)
+        das = run(tiny_config, "das", hot_workload)
+        assert das.total_time_ns < std.total_time_ns
+
+    def test_das_between_standard_and_fs(self, tiny_config):
+        std = run(tiny_config, "standard", hot_workload)
+        das = run(tiny_config, "das", hot_workload)
+        fs = run(tiny_config, "fs", hot_workload)
+        assert fs.total_time_ns <= das.total_time_ns <= std.total_time_ns
+
+    def test_free_migration_at_least_as_fast(self, tiny_config):
+        das = run(tiny_config, "das", hot_workload)
+        fm = run(tiny_config, "das_fm", hot_workload)
+        assert fm.total_time_ns <= das.total_time_ns * 1.02
+
+    def test_profiled_static_helps_stable_workload(self, tiny_config):
+        heat = profile_row_heat(
+            tiny_config, [hot_workload(tiny_config)], 6000)
+        std = run(tiny_config, "standard", hot_workload)
+        sas = run(tiny_config, "sas", hot_workload, row_heat=heat)
+        assert sas.total_time_ns < std.total_time_ns
+
+    def test_charm_at_least_as_fast_as_sas(self, tiny_config):
+        heat = profile_row_heat(
+            tiny_config, [hot_workload(tiny_config)], 6000)
+        sas = run(tiny_config, "sas", hot_workload, row_heat=heat)
+        charm = run(tiny_config, "charm", hot_workload, row_heat=heat)
+        assert charm.total_time_ns <= sas.total_time_ns * 1.01
+
+
+class TestDynamicBehaviour:
+    def test_promotions_happen_on_reuse(self, tiny_config):
+        das = run(tiny_config, "das", hot_workload)
+        assert das.promotions > 0
+
+    def test_fast_hit_ratio_grows_with_reuse(self, tiny_config):
+        hot = run(tiny_config, "das", hot_workload)
+        cold = run(tiny_config, "das", scattered_workload)
+        hot_fast = hot.access_locations["fast"] + hot.access_locations[
+            "row_buffer"]
+        cold_fast = cold.access_locations["fast"] + cold.access_locations[
+            "row_buffer"]
+        assert hot_fast > cold_fast
+
+    def test_standard_never_uses_fast(self, tiny_config):
+        std = run(tiny_config, "standard", hot_workload)
+        assert std.access_locations["fast"] == 0.0
+
+    def test_fs_never_uses_slow(self, tiny_config):
+        fs = run(tiny_config, "fs", hot_workload)
+        assert fs.access_locations["slow"] == 0.0
+
+    def test_higher_threshold_fewer_promotions(self, tiny_config):
+        def with_threshold(threshold):
+            asym = AsymmetricConfig(
+                migration_group_rows=16,
+                translation_cache_bytes=64,
+                promotion_threshold=threshold,
+            )
+            config = tiny_config.replace(asym=asym, design="das")
+            return simulate(config, [hot_workload(tiny_config)], 6000)
+
+        t1 = with_threshold(1)
+        t8 = with_threshold(8)
+        assert t8.promotions < t1.promotions
+
+    def test_larger_fast_level_fewer_slow_accesses(self, tiny_config):
+        def with_ratio(ratio):
+            asym = AsymmetricConfig(
+                migration_group_rows=16,
+                translation_cache_bytes=64,
+                fast_ratio=ratio,
+            )
+            config = tiny_config.replace(asym=asym, design="das")
+            return simulate(config,
+                            [scattered_workload(tiny_config)], 6000)
+
+        small = with_ratio(1 / 16)
+        large = with_ratio(1 / 4)
+        assert (large.access_locations["slow"]
+                <= small.access_locations["slow"] + 1e-9)
+
+
+class TestEnergyBehaviour:
+    def test_fs_dynamic_energy_below_standard(self, tiny_config):
+        std = run(tiny_config, "standard", hot_workload)
+        fs = run(tiny_config, "fs", hot_workload)
+        assert fs.dynamic_energy_nj < std.dynamic_energy_nj
+
+    def test_das_activation_energy_below_standard_with_reuse(
+            self, tiny_config):
+        std = run(tiny_config, "standard", hot_workload)
+        das = run(tiny_config, "das", hot_workload)
+        assert (das.energy_nj["activate_nj"]
+                < std.energy_nj["activate_nj"])

@@ -1,0 +1,234 @@
+"""Tests for the migration engine and the DAS / static managers."""
+
+import pytest
+
+from repro.common.config import AsymmetricConfig, ControllerConfig
+from repro.common.rng import make_rng
+from repro.controller.controller import MemorySystem
+from repro.core.manager import DASManager, StaticAsymmetricManager
+from repro.core.migration import MigrationEngine
+from repro.core.organization import AsymmetricOrganization
+from repro.core.promotion import make_promotion_policy
+from repro.core.replacement import make_fast_replacement
+from repro.core.translation import (
+    LLCTranslationPartition,
+    TranslationCache,
+    TranslationTable,
+)
+from repro.dram.device import DRAMDevice
+from repro.dram.timing import FAST, SLOW, ddr3_1600_fast, ddr3_1600_slow
+
+
+@pytest.fixture
+def organization(tiny_geometry):
+    return AsymmetricOrganization(
+        tiny_geometry, AsymmetricConfig(migration_group_rows=16))
+
+
+def make_das_system(tiny_geometry, organization, swap_latency=146.25,
+                    threshold=1):
+    device = DRAMDevice(
+        tiny_geometry,
+        {SLOW: ddr3_1600_slow(), FAST: ddr3_1600_fast()},
+        organization.classify, organization.subarray_of)
+    manager = DASManager(
+        organization,
+        TranslationTable(organization),
+        TranslationCache(64),
+        LLCTranslationPartition(16384),
+        make_promotion_policy(threshold),
+        make_fast_replacement("lru", make_rng(1, "fr")),
+        MigrationEngine(swap_latency),
+        llc_latency_ns=6.67,
+    )
+    return MemorySystem(device, ControllerConfig(), manager), manager
+
+
+def slow_slot_address(system, organization):
+    """An address whose logical row currently maps to a slow slot."""
+    table = system.manager.table
+    for address in range(0, 1 << 20, 2048):
+        decoded = system.device.mapping.decode(address)
+        group = decoded.row // organization.group_rows
+        local = decoded.row % organization.group_rows
+        flat = decoded.flat_bank(system.device.geometry)
+        if table.slot_of(flat, group, local) >= organization.fast_per_group:
+            return address
+    raise AssertionError("no slow-slot address found")
+
+
+class TestMigrationEngine:
+    def test_free_engine(self):
+        engine = MigrationEngine.free()
+        assert engine.is_free
+
+    def test_from_timing_matches_table1(self):
+        engine = MigrationEngine.from_timing(ddr3_1600_slow())
+        assert engine.swap_latency_ns == pytest.approx(146.25)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MigrationEngine(-1.0)
+
+    def test_free_swap_commits_immediately(self, tiny_geometry,
+                                           organization):
+        system, _ = make_das_system(tiny_geometry, organization,
+                                    swap_latency=0.0)
+        committed = []
+        engine = MigrationEngine.free()
+        assert engine.swap(system, 0, 0.0, frozenset(),
+                           lambda: committed.append(1))
+        assert committed == [1]
+        assert engine.promotions == 1
+
+
+class TestDASPromotion:
+    def test_slow_access_promotes(self, tiny_geometry, organization):
+        system, manager = make_das_system(tiny_geometry, organization)
+        address = slow_slot_address(system, organization)
+        request = system.submit(0.0, address, False)
+        system.resolve(request)
+        assert manager.promotions == 1
+
+    def test_promoted_row_eventually_fast(self, tiny_geometry,
+                                          organization):
+        system, manager = make_das_system(tiny_geometry, organization)
+        address = slow_slot_address(system, organization)
+        first = system.submit(0.0, address, False)
+        system.resolve(first)
+        # Touch another row in the same bank to let the swap commit, then
+        # re-access: the row must now be served from a fast slot.
+        mapping = system.device.mapping
+        geometry = system.device.geometry
+        target = mapping.decode(address)
+        other_address = None
+        for candidate in range(0, geometry.capacity_bytes, 2048):
+            decoded = mapping.decode(candidate)
+            if (decoded.flat_bank(geometry) == target.flat_bank(geometry)
+                    and decoded.row != target.row):
+                other_address = candidate
+                break
+        assert other_address is not None
+        other = system.submit(first.completion_ns, other_address, False)
+        system.resolve(other)
+        again = system.submit(other.completion_ns + 1000, address, False)
+        system.resolve(again)
+        assert again.op.subarray_class == FAST
+
+    def test_fast_access_never_promotes(self, tiny_geometry, organization):
+        system, manager = make_das_system(tiny_geometry, organization)
+        # Find a fast-slot address.
+        table = manager.table
+        for address in range(0, 1 << 20, 2048):
+            decoded = system.device.mapping.decode(address)
+            group = decoded.row // organization.group_rows
+            local = decoded.row % organization.group_rows
+            flat = decoded.flat_bank(system.device.geometry)
+            if table.slot_of(flat, group, local) < organization.fast_per_group:
+                break
+        request = system.submit(0.0, address, False)
+        system.resolve(request)
+        assert manager.promotions == 0
+        assert request.op.subarray_class == FAST
+
+    def test_no_retrigger_while_inflight(self, tiny_geometry, organization):
+        system, manager = make_das_system(tiny_geometry, organization)
+        address = slow_slot_address(system, organization)
+        first = system.submit(0.0, address, False)
+        system.resolve(first)
+        # Re-access before any other row closes the bank: swap is pending.
+        second = system.submit(first.completion_ns, address, False)
+        system.resolve(second)
+        assert manager.promotions == 1
+
+    def test_exclusive_invariant_after_promotions(self, tiny_geometry,
+                                                  organization):
+        system, manager = make_das_system(tiny_geometry, organization)
+        for i in range(40):
+            request = system.submit(float(i * 500), (i * 7919 * 2048), False)
+            system.resolve(request)
+        system.flush()
+        table = manager.table
+        for (flat, group), _ in list(table._groups.items()):
+            slots = [table.slot_of(flat, group, local)
+                     for local in range(organization.group_rows)]
+            assert sorted(slots) == list(range(organization.group_rows))
+
+    def test_threshold_filter_delays_promotion(self, tiny_geometry,
+                                               organization):
+        system, manager = make_das_system(tiny_geometry, organization,
+                                          threshold=3)
+        address = slow_slot_address(system, organization)
+        for i in range(2):
+            request = system.submit(float(i) * 1000, address, True)
+            system.resolve(request)
+            system.flush()
+        assert manager.promotions == 0
+
+    def test_reset_stats(self, tiny_geometry, organization):
+        system, manager = make_das_system(tiny_geometry, organization)
+        address = slow_slot_address(system, organization)
+        system.resolve(system.submit(0.0, address, False))
+        manager.reset_stats()
+        assert manager.promotions == 0
+        assert manager.slow_level_accesses == 0
+
+
+class TestTranslationFlow:
+    def test_tc_hit_zero_delay(self, tiny_geometry, organization):
+        system, manager = make_das_system(tiny_geometry, organization)
+        manager.translation_cache.insert(0, 0)
+        translation = manager.translate(0, 0, 0, False, 0.0)
+        assert translation.delay_ns == 0.0
+        assert translation.table_row is None
+
+    def test_llc_partition_hit_costs_llc_latency(self, tiny_geometry,
+                                                 organization):
+        system, manager = make_das_system(tiny_geometry, organization)
+        manager.llc_partition.insert(5)
+        translation = manager.translate(5, 0, 5, False, 0.0)
+        assert translation.delay_ns == pytest.approx(6.67)
+        assert translation.table_row is None
+
+    def test_full_miss_fetches_table(self, tiny_geometry, organization):
+        system, manager = make_das_system(tiny_geometry, organization)
+        translation = manager.translate(200, 0, 200 % 128, False, 0.0)
+        assert translation.table_row is not None
+        assert manager.table_fetches == 1
+
+    def test_fetch_installs_both_levels(self, tiny_geometry, organization):
+        system, manager = make_das_system(tiny_geometry, organization)
+        manager.translate(0, 0, 0, False, 0.0)   # row 0 is a fast slot
+        second = manager.translate(0, 0, 0, False, 0.0)
+        assert second.table_row is None
+        assert second.delay_ns == 0.0
+
+
+class TestStaticManager:
+    def test_assigns_hottest_per_group(self, tiny_geometry, organization):
+        # Bank 0, group 0: locals 10 and 11 are hottest.
+        rows_per_bank = tiny_geometry.rows_per_bank
+        heat = {10: 100, 11: 90, 0: 1, 1: 1}
+        manager = StaticAsymmetricManager(organization, heat)
+        assert manager.table.slot_of(0, 0, 10) < organization.fast_per_group
+        assert manager.table.slot_of(0, 0, 11) < organization.fast_per_group
+
+    def test_without_profile_identity(self, organization):
+        manager = StaticAsymmetricManager(organization, None)
+        assert manager.table.slot_of(0, 0, 3) == 3
+
+    def test_translate_is_static(self, organization):
+        manager = StaticAsymmetricManager(organization, {10: 5})
+        translation = manager.translate(10, 0, 10, False, 0.0)
+        assert translation.delay_ns == 0.0
+        assert translation.table_row is None
+
+    def test_never_promotes(self, organization):
+        manager = StaticAsymmetricManager(organization, {10: 5})
+        assert manager.promotions == 0
+
+    def test_permutation_preserved(self, tiny_geometry, organization):
+        heat = {local: 100 - local for local in range(16)}
+        manager = StaticAsymmetricManager(organization, heat)
+        slots = [manager.table.slot_of(0, 0, local) for local in range(16)]
+        assert sorted(slots) == list(range(16))

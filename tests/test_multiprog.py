@@ -1,0 +1,67 @@
+"""Tests for the multi-programming mixes M1-M8."""
+
+import itertools
+
+import pytest
+
+from repro.common.units import MiB
+from repro.trace.multiprog import MIX_ORDER, MIXES, build_mix_traces
+from repro.trace.spec2006 import PROFILES
+
+TABLE2_MIXES = {
+    "M1": ["cactusADM", "mcf", "milc", "omnetpp"],
+    "M2": ["cactusADM", "GemsFDTD", "lbm", "mcf"],
+    "M3": ["cactusADM", "lbm", "leslie3d", "omnetpp"],
+    "M4": ["astar", "cactusADM", "lbm", "milc"],
+    "M5": ["astar", "libquantum", "omnetpp", "soplex"],
+    "M6": ["GemsFDTD", "leslie3d", "libquantum", "soplex"],
+    "M7": ["leslie3d", "libquantum", "milc", "soplex"],
+    "M8": ["lbm", "libquantum", "mcf", "soplex"],
+}
+
+
+class TestMixRoster:
+    def test_matches_table2(self):
+        assert MIXES == TABLE2_MIXES
+
+    def test_order(self):
+        assert MIX_ORDER == [f"M{i}" for i in range(1, 9)]
+
+    def test_members_exist(self):
+        for members in MIXES.values():
+            for name in members:
+                assert name in PROFILES
+
+
+class TestBuildMixTraces:
+    CAPACITY = 256 * MiB
+
+    def test_four_traces(self):
+        traces = build_mix_traces("M1", 1, self.CAPACITY)
+        assert len(traces) == 4
+
+    def test_regions_disjoint(self):
+        traces = build_mix_traces("M5", 1, self.CAPACITY)
+        region = self.CAPACITY // 4
+        for index, trace in enumerate(traces):
+            for _gap, address, _w in itertools.islice(trace, 2000):
+                assert index * region <= address < (index + 1) * region
+
+    def test_deterministic(self):
+        first = [list(itertools.islice(t, 50))
+                 for t in build_mix_traces("M2", 9, self.CAPACITY)]
+        second = [list(itertools.islice(t, 50))
+                  for t in build_mix_traces("M2", 9, self.CAPACITY)]
+        assert first == second
+
+    def test_same_benchmark_differs_across_mixes(self):
+        # cactusADM appears in M1 and M2 but with independent sub-seeds.
+        m1 = list(itertools.islice(
+            build_mix_traces("M1", 1, self.CAPACITY)[0], 100))
+        m2 = list(itertools.islice(
+            build_mix_traces("M2", 1, self.CAPACITY)[0], 100))
+        assert m1 != m2
+
+    def test_rejects_unknown_mix(self):
+        with pytest.raises(KeyError):
+            build_mix_traces("M99", 1, self.CAPACITY)

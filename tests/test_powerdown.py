@@ -1,0 +1,79 @@
+"""Tests for the partial power-down extension."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.core.powerdown import PowerDownController
+from repro.core.variants import build_memory_system
+
+
+@pytest.fixture
+def das_system(tiny_config):
+    return build_memory_system(tiny_config.replace(design="das"))
+
+
+@pytest.fixture
+def controller(das_system):
+    return PowerDownController(das_system.manager, das_system)
+
+
+class TestGating:
+    def test_empty_group_gates_freely(self, controller):
+        result = controller.gate_group(0, 0, set(), now=0.0)
+        assert result.rows_migrated == 0
+        assert result.migration_time_ns == 0.0
+        assert controller.is_gated(0, 0)
+
+    def test_double_gate_rejected(self, controller):
+        controller.gate_group(0, 0, set(), now=0.0)
+        with pytest.raises(ValueError):
+            controller.gate_group(0, 0, set(), now=0.0)
+
+    def test_live_slow_rows_detected(self, controller, das_system):
+        organization = das_system.manager.organization
+        rows_per_bank = organization.geometry.rows_per_bank
+        # Logical local 5 of group 0, bank 0 starts in a slow slot
+        # (identity mapping, fast slots are locals 0-1).
+        live = {0 * rows_per_bank + 5}
+        assert controller.live_slow_rows(0, 0, live) == [5]
+
+    def test_gating_migrates_live_rows(self, controller, das_system):
+        organization = das_system.manager.organization
+        rows_per_bank = organization.geometry.rows_per_bank
+        live = {5, 9}  # two slow-slot locals of bank 0, group 0
+        result = controller.gate_group(0, 0, live, now=0.0)
+        assert result.rows_migrated == 2
+        assert result.migration_time_ns > 0
+        table = das_system.manager.table
+        for local in (5, 9):
+            assert (table.slot_of(0, 0, local)
+                    < organization.fast_per_group)
+
+    def test_refuses_when_live_rows_exceed_fast_slots(self, controller):
+        # Group 0 of bank 0 has 2 fast slots; 3 live slow rows cannot fit.
+        live = {5, 6, 7}
+        with pytest.raises(ValueError):
+            controller.gate_group(0, 0, live, now=0.0)
+
+    def test_occupied_fast_slots_reduce_capacity(self, controller,
+                                                 das_system):
+        # Local 0 (a fast slot occupant) is live, so only one slot frees.
+        live = {0, 5, 9}
+        with pytest.raises(ValueError):
+            controller.gate_group(0, 0, live, now=0.0)
+
+    def test_power_saving_fraction(self, controller, das_system):
+        organization = das_system.manager.organization
+        controller.gate_group(0, 0, set(), now=0.0)
+        total_groups = (organization.geometry.total_banks
+                        * organization.groups_per_bank)
+        expected = (1 / total_groups
+                    * organization.slow_per_group / organization.group_rows)
+        assert controller.background_power_saving_fraction() == pytest.approx(
+            expected)
+
+    def test_gating_blocks_bank_during_moves(self, controller, das_system):
+        live = {5}
+        controller.gate_group(0, 0, live, now=0.0)
+        bank = das_system.device.banks[0]
+        assert bank.busy_until > 0.0

@@ -1,0 +1,74 @@
+"""Tests for rank activation windows and channel bus arbitration."""
+
+import pytest
+
+from repro.dram.channel import IO_DELAY_NS, TURNAROUND_NS, Channel
+from repro.dram.rank import Rank
+from repro.dram.timing import ddr3_1600_slow
+
+
+class TestRank:
+    def test_first_activation_unconstrained(self):
+        rank = Rank(ddr3_1600_slow())
+        assert rank.activate_time(10.0) == pytest.approx(10.0)
+
+    def test_trrd_spacing(self):
+        slow = ddr3_1600_slow()
+        rank = Rank(slow)
+        first = rank.activate_time(0.0)
+        second = rank.activate_time(0.0)
+        assert second - first >= slow.tRRD - 1e-9
+
+    def test_tfaw_window(self):
+        slow = ddr3_1600_slow()
+        rank = Rank(slow)
+        times = [rank.activate_time(0.0) for _ in range(5)]
+        assert times[4] - times[0] >= slow.tFAW - 1e-9
+
+    def test_spread_activations_unconstrained(self):
+        slow = ddr3_1600_slow()
+        rank = Rank(slow)
+        for i in range(8):
+            t = rank.activate_time(i * 100.0)
+            assert t == pytest.approx(i * 100.0)
+
+
+class TestChannel:
+    def test_first_reservation(self):
+        channel = Channel()
+        slow = ddr3_1600_slow()
+        col, start, end = channel.reserve(0.0, False, slow)
+        assert col == pytest.approx(0.0)
+        assert start == pytest.approx(slow.tCL)
+        assert end == pytest.approx(slow.tCL + slow.tBURST)
+
+    def test_bursts_serialise(self):
+        channel = Channel()
+        slow = ddr3_1600_slow()
+        _, _, end1 = channel.reserve(0.0, False, slow)
+        _, start2, _ = channel.reserve(0.0, False, slow)
+        assert start2 >= end1 - 1e-9
+
+    def test_tccd_spacing(self):
+        channel = Channel()
+        slow = ddr3_1600_slow()
+        col1, _, _ = channel.reserve(0.0, False, slow)
+        col2, _, _ = channel.reserve(0.0, False, slow)
+        assert col2 - col1 >= slow.tCCD - 1e-9
+
+    def test_turnaround_penalty(self):
+        channel = Channel()
+        slow = ddr3_1600_slow()
+        _, _, read_end = channel.reserve(0.0, False, slow)
+        _, write_start, _ = channel.reserve(0.0, True, slow)
+        assert write_start >= read_end + TURNAROUND_NS - 1e-9
+
+    def test_same_direction_no_penalty(self):
+        channel = Channel()
+        slow = ddr3_1600_slow()
+        _, _, end1 = channel.reserve(0.0, False, slow)
+        _, start2, _ = channel.reserve(0.0, False, slow)
+        assert start2 == pytest.approx(end1)
+
+    def test_io_delay_constant_positive(self):
+        assert IO_DELAY_NS > 0

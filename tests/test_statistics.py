@@ -1,0 +1,172 @@
+"""Unit tests for repro.common.statistics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.statistics import (
+    Accumulator,
+    Counter,
+    Histogram,
+    StatGroup,
+    geometric_mean,
+    gmean_improvement,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter().value == 0
+
+    def test_add_default(self):
+        c = Counter()
+        c.add()
+        c.add()
+        assert c.value == 2
+
+    def test_add_amount(self):
+        c = Counter()
+        c.add(5)
+        assert c.value == 5
+
+    def test_reset(self):
+        c = Counter()
+        c.add(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestAccumulator:
+    def test_empty_mean_is_zero(self):
+        assert Accumulator().mean == 0.0
+
+    def test_mean(self):
+        acc = Accumulator()
+        for sample in (1.0, 2.0, 3.0):
+            acc.add(sample)
+        assert acc.mean == pytest.approx(2.0)
+
+    def test_min_max(self):
+        acc = Accumulator()
+        for sample in (5.0, -1.0, 3.0):
+            acc.add(sample)
+        assert acc.min == -1.0
+        assert acc.max == 5.0
+
+    def test_stdev(self):
+        acc = Accumulator()
+        for sample in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            acc.add(sample)
+        assert acc.stdev == pytest.approx(2.0)
+
+    def test_as_dict_keys(self):
+        acc = Accumulator()
+        acc.add(1.0)
+        assert set(acc.as_dict()) == {
+            "count", "sum", "mean", "min", "max", "stdev"}
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+    def test_mean_within_bounds(self, samples):
+        acc = Accumulator()
+        for sample in samples:
+            acc.add(sample)
+        assert acc.min - 1e-9 <= acc.mean <= acc.max + 1e-9
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram(10.0, 4)
+        h.add(5.0)
+        h.add(15.0)
+        h.add(35.0)
+        assert h.buckets == [1, 1, 0, 1]
+
+    def test_overflow(self):
+        h = Histogram(10.0, 2)
+        h.add(100.0)
+        assert h.overflow == 1
+
+    def test_percentile(self):
+        h = Histogram(1.0, 10)
+        for value in range(10):
+            h.add(value + 0.5)
+        assert h.percentile(0.5) == pytest.approx(5.0)
+
+    def test_percentile_empty(self):
+        assert Histogram(1.0, 4).percentile(0.9) == 0.0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0, 4).percentile(1.5)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Histogram(0.0, 4)
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1,
+                    max_size=20))
+    def test_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+
+class TestGmeanImprovement:
+    def test_identity(self):
+        assert gmean_improvement([0.0, 0.0]) == pytest.approx(0.0)
+
+    def test_matches_speedup_gmean(self):
+        # +100% and +0% -> gmean speedup sqrt(2) -> +41.4%
+        assert gmean_improvement([100.0, 0.0]) == pytest.approx(
+            (math.sqrt(2) - 1) * 100)
+
+    def test_negative_improvements(self):
+        assert gmean_improvement([-50.0]) == pytest.approx(-50.0)
+
+
+class TestStatGroup:
+    def test_counter_identity(self):
+        group = StatGroup("g")
+        assert group.counter("a") is group.counter("a")
+
+    def test_ratio(self):
+        group = StatGroup("g")
+        group.counter("hits").add(3)
+        group.counter("total").add(4)
+        assert group.ratio("hits", "total") == pytest.approx(0.75)
+
+    def test_ratio_zero_denominator(self):
+        group = StatGroup("g")
+        assert group.ratio("hits", "total") == 0.0
+
+    def test_nested_as_dict(self):
+        group = StatGroup("top")
+        group.child("inner").counter("x").add(2)
+        group.set_scalar("y", 1.5)
+        data = group.as_dict()
+        assert data["inner"] == {"x": 2}
+        assert data["y"] == 1.5
+
+    def test_report_mentions_names(self):
+        group = StatGroup("ctrl")
+        group.counter("reads").add(7)
+        text = group.report()
+        assert "[ctrl]" in text
+        assert "reads: 7" in text

@@ -1,0 +1,151 @@
+"""Tests for the exclusive-cache translation layer, including the
+permutation invariant (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import AsymmetricConfig
+from repro.core.organization import AsymmetricOrganization
+from repro.core.translation import (
+    LLCTranslationPartition,
+    TranslationCache,
+    TranslationTable,
+)
+
+
+@pytest.fixture
+def table(tiny_geometry):
+    organization = AsymmetricOrganization(
+        tiny_geometry, AsymmetricConfig(migration_group_rows=16))
+    return TranslationTable(organization)
+
+
+class TestTranslationTable:
+    def test_identity_at_boot(self, table):
+        for local in range(16):
+            assert table.slot_of(0, 0, local) == local
+            assert table.local_in_slot(0, 0, local) == local
+
+    def test_swap_exchanges(self, table):
+        table.swap(0, 0, 2, 9)
+        assert table.slot_of(0, 0, 2) == 9
+        assert table.slot_of(0, 0, 9) == 2
+        assert table.local_in_slot(0, 0, 9) == 2
+        assert table.local_in_slot(0, 0, 2) == 9
+
+    def test_swap_is_involution(self, table):
+        table.swap(0, 0, 2, 9)
+        table.swap(0, 0, 2, 9)
+        assert table.slot_of(0, 0, 2) == 2
+        assert table.slot_of(0, 0, 9) == 9
+
+    def test_groups_independent(self, table):
+        table.swap(0, 0, 2, 9)
+        assert table.slot_of(0, 1, 2) == 2
+        assert table.slot_of(1, 0, 2) == 2
+
+    def test_materialized_groups_lazy(self, table):
+        assert table.materialized_groups() == 0
+        table.slot_of(0, 3, 1)
+        assert table.materialized_groups() == 1
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)),
+                    max_size=60))
+    @settings(max_examples=50)
+    def test_permutation_invariant(self, swaps):
+        """After any swap sequence, the mapping stays a permutation and
+        forward/inverse views agree (the exclusive-cache invariant)."""
+        from repro.common.config import DRAMGeometry
+        geometry = DRAMGeometry(channels=1, ranks_per_channel=1,
+                                banks_per_rank=2, rows_per_bank=128,
+                                row_bytes=2048, line_bytes=64)
+        organization = AsymmetricOrganization(
+            geometry, AsymmetricConfig(migration_group_rows=16))
+        table = TranslationTable(organization)
+        for local_a, local_b in swaps:
+            table.swap(0, 0, local_a, local_b)
+        slots = [table.slot_of(0, 0, local) for local in range(16)]
+        assert sorted(slots) == list(range(16))
+        for local in range(16):
+            assert table.local_in_slot(0, 0, slots[local]) == local
+
+
+class TestTranslationCache:
+    def test_miss_then_hit(self):
+        cache = TranslationCache(capacity_bytes=4, entry_bytes=1)
+        assert cache.lookup(10) is None
+        cache.insert(10, 3)
+        assert cache.lookup(10) == 3
+
+    def test_capacity_eviction_lru(self):
+        cache = TranslationCache(capacity_bytes=2, entry_bytes=1)
+        cache.insert(1, 0)
+        cache.insert(2, 0)
+        cache.lookup(1)        # refresh 1
+        cache.insert(3, 0)     # evicts 2
+        assert cache.lookup(2) is None
+        assert cache.lookup(1) == 0
+
+    def test_invalidate(self):
+        cache = TranslationCache(capacity_bytes=4)
+        cache.insert(5, 1)
+        cache.invalidate(5)
+        assert cache.lookup(5) is None
+
+    def test_update_existing(self):
+        cache = TranslationCache(capacity_bytes=4)
+        cache.insert(5, 1)
+        cache.insert(5, 2)
+        assert cache.lookup(5) == 2
+        assert len(cache) == 1
+
+    def test_hit_rate(self):
+        cache = TranslationCache(capacity_bytes=4)
+        cache.insert(1, 0)
+        cache.lookup(1)
+        cache.lookup(2)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_reset_stats(self):
+        cache = TranslationCache(capacity_bytes=4)
+        cache.lookup(1)
+        cache.reset_stats()
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            TranslationCache(capacity_bytes=0)
+
+    @given(st.lists(st.integers(0, 100), max_size=200))
+    @settings(max_examples=30)
+    def test_size_bounded(self, rows):
+        cache = TranslationCache(capacity_bytes=8, entry_bytes=1)
+        for row in rows:
+            cache.insert(row, 0)
+        assert len(cache) <= 8
+
+
+class TestLLCTranslationPartition:
+    def test_line_coverage(self):
+        partition = LLCTranslationPartition(16384, line_bytes=64,
+                                            entry_bytes=1)
+        partition.insert(0)
+        # Rows 0-63 share the covering translation line.
+        assert partition.lookup(63)
+        assert not partition.lookup(64)
+
+    def test_capacity_bounded_lru(self):
+        partition = LLCTranslationPartition(
+            256, line_bytes=64, entry_bytes=1, llc_fraction=0.5)
+        assert partition.capacity_lines == 2
+        partition.insert(0)
+        partition.insert(64)
+        partition.lookup(0)
+        partition.insert(128)   # evicts line for row 64
+        assert not partition.lookup(64)
+        assert partition.lookup(0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            LLCTranslationPartition(1024, llc_fraction=0.0)

@@ -1,0 +1,67 @@
+"""Calibration regression tests for the SPEC CPU2006 stand-ins.
+
+The synthetic generators are calibrated so each benchmark's measured
+memory character lands near the paper's Figure 7b.  These tests pin the
+calibration with generous bands — if a generator or cache change shifts a
+benchmark's MPKI or locality class, a figure will silently change shape,
+so fail here first.
+"""
+
+import pytest
+
+from repro.sim.runner import run_workload
+
+REFS = 40_000
+
+#: (benchmark, mpki band, footprint band MB, row-buffer-hit band).
+CALIBRATION = [
+    ("libquantum", (18, 45), (1.5, 3.0), (0.40, 0.90)),
+    ("lbm", (20, 48), (2.0, 14.0), (0.30, 0.75)),
+    ("mcf", (10, 30), (15.0, 45.0), (0.00, 0.15)),
+    ("omnetpp", (3, 12), (3.0, 6.5), (0.00, 0.30)),
+    ("cactusADM", (3, 12), (5.0, 21.0), (0.20, 0.90)),
+    ("GemsFDTD", (8, 25), (2.0, 27.0), (0.30, 0.90)),
+]
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {
+        name: run_workload(name, "standard", references=REFS)
+        for name, *_ in CALIBRATION
+    }
+
+
+class TestMPKIBands:
+    @pytest.mark.parametrize("name,mpki_band,fp_band,rb_band", CALIBRATION)
+    def test_mpki(self, runs, name, mpki_band, fp_band, rb_band):
+        mpki = runs[name].mpki
+        assert mpki_band[0] <= mpki <= mpki_band[1], (
+            f"{name} MPKI {mpki:.1f} outside {mpki_band}")
+
+    @pytest.mark.parametrize("name,mpki_band,fp_band,rb_band", CALIBRATION)
+    def test_footprint(self, runs, name, mpki_band, fp_band, rb_band):
+        footprint_mb = runs[name].footprint_bytes / 1e6
+        assert fp_band[0] <= footprint_mb <= fp_band[1], (
+            f"{name} footprint {footprint_mb:.1f} MB outside {fp_band}")
+
+    @pytest.mark.parametrize("name,mpki_band,fp_band,rb_band", CALIBRATION)
+    def test_row_buffer_locality(self, runs, name, mpki_band, fp_band,
+                                 rb_band):
+        hit = runs[name].access_locations["row_buffer"]
+        assert rb_band[0] <= hit <= rb_band[1], (
+            f"{name} row-buffer share {hit:.2f} outside {rb_band}")
+
+
+class TestRelativeCharacter:
+    def test_mcf_footprint_largest(self, runs):
+        assert (runs["mcf"].footprint_bytes
+                == max(m.footprint_bytes for m in runs.values()))
+
+    def test_streaming_has_more_row_hits_than_pointer_chase(self, runs):
+        assert (runs["libquantum"].access_locations["row_buffer"]
+                > runs["mcf"].access_locations["row_buffer"])
+
+    def test_memory_bound_ipc_ordering(self, runs):
+        # The intense stream (lbm) is more memory bound than omnetpp.
+        assert runs["lbm"].ipc[0] < runs["omnetpp"].ipc[0]
