@@ -1,0 +1,38 @@
+"""Execution-engine benchmarks: plan + execute one figure's job graph.
+
+Measures the end-to-end plan/execute pipeline the CLI's ``--jobs`` path
+uses, serial vs two workers, on the representative subset.  The
+cache-disabled fixture in conftest guarantees both variants measure real
+simulation work rather than recall.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SUBSET, SINGLE_REFS, run_once
+
+from repro.exec import execute, plan_experiments
+
+
+def _plan():
+    return plan_experiments(["fig7a"], references=SINGLE_REFS,
+                            workloads=BENCH_SUBSET)
+
+
+def test_exec_plan_overhead(benchmark):
+    """Planning alone: enumerating + deduplicating the job graph."""
+    graph = run_once(benchmark, _plan)
+    assert len(graph) > 0
+
+
+def test_exec_serial(benchmark):
+    """Executor inline path (jobs=1) over fig7a's deduplicated graph."""
+    graph = _plan()
+    report = run_once(benchmark, execute, graph.specs, jobs=1)
+    assert report.executed == len(graph)
+
+
+def test_exec_parallel_two_workers(benchmark):
+    """Executor pool path (jobs=2) over the same graph."""
+    graph = _plan()
+    report = run_once(benchmark, execute, graph.specs, jobs=2)
+    assert report.executed == len(graph)

@@ -15,6 +15,8 @@ Public API overview
   translation, migration, management policies, design variants.
 * :mod:`repro.energy` — event-based energy model.
 * :mod:`repro.sim` — system assembly, metrics, cached runner.
+* :mod:`repro.exec` — parallel execution engine (job-graph planning,
+  worker pool, progress telemetry).
 * :mod:`repro.experiments` — one harness per paper table/figure.
 
 Quickstart::
@@ -34,10 +36,14 @@ from .common.config import (
     HierarchyConfig,
     SystemConfig,
 )
-from .core.variants import DESIGN_ORDER, build_memory_system
+from .core.variants import DESIGN_ORDER, DESIGNS, build_memory_system
 from .sim.metrics import RunMetrics
 from .sim.runner import make_config, run_design_suite, run_workload
 from .sim.system import profile_row_heat, simulate
+
+# Imported after .sim: the execution engine's planner sits above the
+# simulation layer (and the experiment registry reaches back into it).
+from .exec import ExecutionReport, RunSpec, execute, plan_experiments
 from .trace.multiprog import mix_names
 from .trace.spec2006 import benchmark_names, build_trace
 
@@ -52,7 +58,12 @@ __all__ = [
     "HierarchyConfig",
     "SystemConfig",
     "DESIGN_ORDER",
+    "DESIGNS",
     "build_memory_system",
+    "ExecutionReport",
+    "RunSpec",
+    "execute",
+    "plan_experiments",
     "RunMetrics",
     "make_config",
     "run_design_suite",

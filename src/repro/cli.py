@@ -5,16 +5,19 @@ Examples::
     repro list                     # show all experiments
     repro run table1               # print a table/figure
     repro run fig7a --refs 50000   # quicker, shorter run
-    repro run all                  # regenerate everything
+    repro run all --jobs 8         # regenerate everything in parallel
     repro bench mcf --design das   # one ad-hoc workload run
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
+from .core.variants import DESIGNS
 from .experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
 from .sim.runner import run_workload
 from .trace.multiprog import mix_names
@@ -36,6 +39,15 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="memory references per core (default: full scale)")
     run.add_argument("--no-cache", action="store_true",
                      help="ignore and do not write the result cache")
+    run.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                     help="pre-execute the experiments' simulations on N "
+                          "worker processes (planner deduplicates shared "
+                          "runs; tables are identical to a serial run)")
+    run.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                     help="per-simulation timeout for parallel execution")
+    run.add_argument("--retries", type=int, default=2,
+                     help="retry budget per simulation on worker "
+                          "failure (default: 2)")
     run.add_argument("--chart", action="store_true",
                      help="also render the result as ASCII bars")
     run.add_argument("--save", metavar="DIR", default=None,
@@ -51,20 +63,69 @@ def _build_parser() -> argparse.ArgumentParser:
     dump.add_argument("--seed", type=int, default=1)
     replay = trace_sub.add_parser("run", help="simulate a trace file")
     replay.add_argument("path")
-    replay.add_argument("--design", default="das",
-                        choices=["standard", "sas", "charm", "das",
-                                 "das_fm", "fs", "das_incl"])
+    replay.add_argument("--design", default="das", choices=DESIGNS)
+    replay.add_argument("--refs", type=int, default=None,
+                        help="references to replay (default: whole file)")
+    replay.add_argument("--seed", type=int, default=1,
+                        help="seed for the simulated system")
 
     bench = sub.add_parser("bench", help="run one workload/design pair")
     bench.add_argument("workload",
                        help=f"one of {', '.join(benchmark_names())} "
                             f"or {', '.join(mix_names())}")
-    bench.add_argument("--design", default="das",
-                       choices=["standard", "sas", "charm", "das",
-                                "das_fm", "fs", "das_incl"])
+    bench.add_argument("--design", default="das", choices=DESIGNS)
     bench.add_argument("--refs", type=int, default=None)
     bench.add_argument("--no-cache", action="store_true")
     return parser
+
+
+@contextlib.contextmanager
+def _env_override(name: str, value: str) -> Iterator[None]:
+    previous = os.environ.get(name)
+    os.environ[name] = value
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = previous
+
+
+def _pre_execute(ids: List[str], refs: Optional[int], jobs: int,
+                 timeout: Optional[float], retries: int) -> None:
+    """Plan the experiments' job graph and warm the cache in parallel."""
+    from .exec import ProgressLine, execute, plan_experiments
+
+    graph = plan_experiments(ids, references=refs)
+    if not graph.specs:
+        return
+    print(f"planned {graph.demanded} runs -> {len(graph)} unique "
+          f"({graph.deduplicated} deduplicated)", file=sys.stderr)
+    report = execute(graph.specs, jobs=jobs, timeout_s=timeout,
+                     retries=retries, progress=ProgressLine())
+    print(report.summary(), file=sys.stderr)
+
+
+def _run_parallel(args, ids: List[str], use_cache: bool) -> None:
+    """``repro run --jobs N``: plan / execute / tabulate.
+
+    Without ``--no-cache`` workers warm the shared disk cache and the
+    tabulation phase is pure recall.  With ``--no-cache`` the same flow
+    runs against a private throwaway cache directory, so results are
+    freshly simulated yet still shared between the parallel phase and
+    the tables.
+    """
+    with contextlib.ExitStack() as stack:
+        if not use_cache:
+            import tempfile
+
+            scratch = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-exec-"))
+            stack.enter_context(_env_override("REPRO_CACHE_DIR", scratch))
+            stack.enter_context(_env_override("REPRO_NO_CACHE", "0"))
+        _pre_execute(ids, args.refs, args.jobs, args.timeout, args.retries)
+        _run_experiments(ids, args.refs, True, args.chart, args.save)
 
 
 def _run_experiments(ids: List[str], refs: Optional[int],
@@ -111,8 +172,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"unknown experiment(s): {', '.join(unknown)}",
                   file=sys.stderr)
             return 2
-        _run_experiments(ids, args.refs, not args.no_cache, args.chart,
-                         args.save)
+        if args.jobs > 1:
+            from .exec import ExecutionError
+
+            try:
+                _run_parallel(args, ids, not args.no_cache)
+            except ExecutionError as error:
+                print(f"execution failed: {error}", file=sys.stderr)
+                return 1
+        else:
+            _run_experiments(ids, args.refs, not args.no_cache,
+                             args.chart, args.save)
         return 0
     if args.command == "trace":
         return _trace_command(args)
@@ -152,7 +222,8 @@ def _trace_command(args) -> int:
         print(f"wrote {count} references to {args.out}")
         return 0
     if args.trace_command == "run":
-        metrics = run_trace_file(args.path, args.design)
+        metrics = run_trace_file(args.path, args.design,
+                                 references=args.refs, seed=args.seed)
         print(f"workload={metrics.workload} design={metrics.design}")
         print(f"  ipc={[round(x, 3) for x in metrics.ipc]} "
               f"mpki={metrics.mpki:.2f}")

@@ -15,6 +15,14 @@ from typing import Dict, Optional, Tuple
 
 from .units import KiB, MiB, is_power_of_two
 
+#: Canonical names of every buildable design variant.  The CLI's design
+#: choices and :class:`SystemConfig` validation both derive from this
+#: (re-exported as ``repro.core.variants.DESIGNS`` next to the design
+#: factories).
+DESIGNS: Tuple[str, ...] = (
+    "standard", "sas", "charm", "das", "das_fm", "fs", "das_incl"
+)
+
 
 @dataclass(frozen=True)
 class CoreConfig:
@@ -211,9 +219,7 @@ class SystemConfig:
     def __post_init__(self) -> None:
         if self.num_cores <= 0:
             raise ValueError("num_cores must be positive")
-        if self.design not in (
-            "standard", "sas", "charm", "das", "das_fm", "fs", "das_incl"
-        ):
+        if self.design not in DESIGNS:
             raise ValueError(f"unknown design {self.design!r}")
 
     def replace(self, **changes: object) -> "SystemConfig":

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Mapping, Optional
 
-from ..common.config import SystemConfig
+from ..common.config import DESIGNS, SystemConfig
 from ..common.rng import make_rng
 from ..common.units import Frequency
 from ..controller.controller import ManagementPolicy, MemorySystem
@@ -40,6 +40,9 @@ from .translation import (
     TranslationCache,
     TranslationTable,
 )
+
+__all__ = ["DESIGNS", "PROFILED_DESIGNS", "DESIGN_ORDER",
+           "build_memory_system"]
 
 #: Names of designs needing a profiling pass before the measured run.
 PROFILED_DESIGNS = ("sas", "charm")

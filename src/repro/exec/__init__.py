@@ -1,0 +1,30 @@
+"""Parallel experiment-execution engine (plan / execute).
+
+Turns experiment regeneration into two phases:
+
+1. **plan** — enumerate every ``(workload, design, config, seed, refs)``
+   simulation a set of experiments will demand and deduplicate on the
+   runner's cache key (:mod:`repro.exec.plan`);
+2. **execute** — bring every result into existence, from the disk cache
+   where possible and across a process pool otherwise, with bounded
+   retries and live progress (:mod:`repro.exec.pool`).
+
+After a batch executes, the experiment harnesses re-read their runs as
+pure cache recall, so parallel and serial regeneration produce
+identical tables.
+"""
+
+from .plan import JobGraph, RunSpec, plan_experiments
+from .pool import ExecutionError, ExecutionReport, execute
+from .progress import NullProgress, ProgressLine
+
+__all__ = [
+    "JobGraph",
+    "RunSpec",
+    "plan_experiments",
+    "ExecutionError",
+    "ExecutionReport",
+    "execute",
+    "NullProgress",
+    "ProgressLine",
+]

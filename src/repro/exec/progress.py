@@ -1,0 +1,88 @@
+"""Live progress/telemetry for the execution engine.
+
+One carriage-return line on stderr while a batch executes::
+
+    exec [ 37/120] hits=18 ran=19 3.4 runs/s eta=24s
+
+Rendering is throttled and automatically disabled on non-TTY streams
+(CI logs get the final summary only).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+
+def format_duration(seconds: float) -> str:
+    """Compact human duration: ``8s``, ``3m12s``, ``1h04m``."""
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class NullProgress:
+    """Silent sink with the progress interface."""
+
+    def update(self, done: int, total: int, cache_hits: int,
+               executed: int) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+
+class ProgressLine(NullProgress):
+    """Single-line done/total + cache-hit + throughput + ETA display."""
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 enabled: Optional[bool] = None,
+                 min_interval_s: float = 0.1) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        if enabled is None:
+            isatty = getattr(self.stream, "isatty", lambda: False)
+            enabled = bool(isatty())
+        self.enabled = enabled
+        self.min_interval_s = min_interval_s
+        self._started = time.monotonic()
+        self._last_render = 0.0
+        self._dirty = False
+        self._width = 0
+
+    def update(self, done: int, total: int, cache_hits: int,
+               executed: int) -> None:
+        if not self.enabled:
+            return
+        now = time.monotonic()
+        self._dirty = True
+        # Always render the final update so the line ends accurate.
+        if done < total and now - self._last_render < self.min_interval_s:
+            return
+        self._render(done, total, cache_hits, executed, now)
+
+    def _render(self, done: int, total: int, cache_hits: int,
+                executed: int, now: float) -> None:
+        elapsed = now - self._started
+        rate = executed / elapsed if elapsed > 0 else 0.0
+        remaining = total - done
+        eta = format_duration(remaining / rate) if rate > 0 else "?"
+        width = len(str(total))
+        line = (f"exec [{done:>{width}}/{total}] hits={cache_hits} "
+                f"ran={executed} {rate:.1f} runs/s eta={eta}")
+        pad = max(0, self._width - len(line))
+        self.stream.write("\r" + line + " " * pad)
+        self.stream.flush()
+        self._width = len(line)
+        self._last_render = now
+        self._dirty = False
+
+    def finish(self) -> None:
+        if self.enabled and self._width:
+            self.stream.write("\n")
+            self.stream.flush()

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 from ..common.config import AsymmetricConfig, ControllerConfig
 from ..common.statistics import gmean_improvement
+from ..exec.plan import RunSpec
 from ..sim.runner import run_workload
 from ..trace.spec2006 import benchmark_names
 from .fig7 import SINGLE_REFS
@@ -28,6 +29,80 @@ MIGRATION_TRC_MULTIPLES = (0.0, 1.5, 3.0, 6.0, 12.0)
 MIGRATION_SENSITIVE = ("mcf", "GemsFDTD", "soplex", "lbm", "milc")
 
 TRC_SLOW_NS = 48.75
+
+#: Default controller-ablation policies (label, config).
+CONTROLLER_POLICIES = (
+    ("open-frfcfs", ControllerConfig()),
+    ("open-fcfs", ControllerConfig(scheduler="fcfs")),
+    ("closed-frfcfs", ControllerConfig(page_policy="closed")),
+)
+
+#: Default workload subsets of the narrower ablations.
+SEED_STABILITY_WORKLOADS = ("libquantum", "mcf", "omnetpp")
+CONTROLLER_WORKLOADS = ("mcf", "lbm", "omnetpp", "libquantum")
+
+#: Replacement policies of Section 5.3.
+REPLACEMENT_POLICIES = ("lru", "random", "sequential", "counter")
+
+
+def _migration_asym(multiple: float) -> AsymmetricConfig:
+    return AsymmetricConfig(
+        migration_latency_ns=multiple * TRC_SLOW_NS if multiple else 0.0)
+
+
+def migration_latency_sweep_plan(
+        references: Optional[int] = None,
+        workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    refs = references or SINGLE_REFS
+    specs: List[RunSpec] = []
+    for workload in workloads or MIGRATION_SENSITIVE:
+        specs.append(RunSpec(workload, "standard", refs))
+        specs.extend(RunSpec(workload, "das", refs,
+                             asym=_migration_asym(multiple))
+                     for multiple in MIGRATION_TRC_MULTIPLES)
+    return specs
+
+
+def seed_stability_plan(references: Optional[int] = None,
+                        workloads: Optional[List[str]] = None,
+                        seeds: int = 4) -> List[RunSpec]:
+    refs = references or SINGLE_REFS
+    return [RunSpec(workload, design, refs, seed=seed)
+            for workload in workloads or SEED_STABILITY_WORKLOADS
+            for seed in range(1, seeds + 1)
+            for design in ("standard", "das")]
+
+
+def controller_policy_ablation_plan(
+        references: Optional[int] = None,
+        workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    refs = references or SINGLE_REFS
+    return [RunSpec(workload, design, refs, controller=controller)
+            for workload in workloads or CONTROLLER_WORKLOADS
+            for _, controller in CONTROLLER_POLICIES
+            for design in ("standard", "das")]
+
+
+def inclusive_vs_exclusive_plan(
+        references: Optional[int] = None,
+        workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    refs = references or SINGLE_REFS
+    return [RunSpec(workload, design, refs)
+            for workload in workloads or benchmark_names()
+            for design in ("standard", "das", "das_incl")]
+
+
+def replacement_policy_ablation_plan(
+        references: Optional[int] = None,
+        workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    refs = references or SINGLE_REFS
+    specs: List[RunSpec] = []
+    for workload in workloads or benchmark_names():
+        specs.append(RunSpec(workload, "standard", refs))
+        specs.extend(RunSpec(workload, "das", refs,
+                             asym=AsymmetricConfig(replacement=policy))
+                     for policy in REPLACEMENT_POLICIES)
+    return specs
 
 
 def migration_latency_sweep(references: Optional[int] = None,
@@ -45,9 +120,7 @@ def migration_latency_sweep(references: Optional[int] = None,
         base = run_workload(workload, "standard", refs, use_cache=use_cache)
         row: Dict[str, object] = {"workload": workload}
         for multiple in MIGRATION_TRC_MULTIPLES:
-            asym = AsymmetricConfig(
-                migration_latency_ns=multiple * TRC_SLOW_NS
-                if multiple else 0.0)
+            asym = _migration_asym(multiple)
             metrics = run_workload(workload, "das", refs, asym=asym,
                                    use_cache=use_cache)
             label = f"{multiple:g}tRC"
@@ -79,7 +152,7 @@ def seed_stability(references: Optional[int] = None,
     result = ExperimentResult(
         "ablation-seeds", "DAS improvement across seeds",
         ["workload", "mean", "min", "max", "spread"])
-    for workload in workloads or ("libquantum", "mcf", "omnetpp"):
+    for workload in workloads or SEED_STABILITY_WORKLOADS:
         improvements: List[float] = []
         for seed in range(1, seeds + 1):
             base = run_workload(workload, "standard", refs, seed=seed,
@@ -111,18 +184,14 @@ def controller_policy_ablation(references: Optional[int] = None,
     latency advantage is in the array, not the scheduler.
     """
     refs = references or SINGLE_REFS
-    policies = [
-        ("open-frfcfs", ControllerConfig()),
-        ("open-fcfs", ControllerConfig(scheduler="fcfs")),
-        ("closed-frfcfs", ControllerConfig(page_policy="closed")),
-    ]
+    policies = CONTROLLER_POLICIES
     columns = ["workload"] + [f"das@{label}" for label, _ in policies]
     result = ExperimentResult(
         "ablation-controller",
         "DAS improvement under different controller policies", columns)
     per_policy: Dict[str, List[float]] = {
         f"das@{label}": [] for label, _ in policies}
-    for workload in workloads or ("mcf", "lbm", "omnetpp", "libquantum"):
+    for workload in workloads or CONTROLLER_WORKLOADS:
         row: Dict[str, object] = {"workload": workload}
         for label, controller in policies:
             base = run_workload(workload, "standard", refs,
@@ -194,7 +263,7 @@ def replacement_policy_ablation(references: Optional[int] = None,
                                 ) -> ExperimentResult:
     """All four fast-level replacement policies of Section 5.3."""
     refs = references or SINGLE_REFS
-    policies = ("lru", "random", "sequential", "counter")
+    policies = REPLACEMENT_POLICIES
     columns = ["workload", *policies]
     result = ExperimentResult(
         "ablation-replacement",

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..common.rng import derive_seed
+from ..exec.plan import RunSpec
 from ..sim.metrics import RunMetrics
 from ..sim.runner import run_workload
 from ..trace.multiprog import MIXES
@@ -28,6 +29,23 @@ from .report import ExperimentResult
 
 #: Designs compared in the fairness study.
 FAIRNESS_DESIGNS = ("standard", "das", "fs")
+
+#: Default mixes studied.
+FAIRNESS_MIXES = ("M1", "M5", "M8")
+
+
+def fairness_study_plan(references: Optional[int] = None,
+                        workloads: Optional[List[str]] = None,
+                        seed: int = 1) -> List[RunSpec]:
+    refs = references or MIX_REFS
+    specs: List[RunSpec] = []
+    for mix in workloads or FAIRNESS_MIXES:
+        for index, bench in enumerate(MIXES[mix]):
+            sub_seed = derive_seed(seed, f"{mix}:{index}:{bench}")
+            specs.append(RunSpec(bench, "standard", refs, seed=sub_seed))
+        specs.extend(RunSpec(mix, design, refs, seed=seed)
+                     for design in FAIRNESS_DESIGNS)
+    return specs
 
 
 def _solo_times(mix: str, references: int, seed: int,
@@ -56,7 +74,7 @@ def fairness_study(references: Optional[int] = None,
                "fairness"]
     result = ExperimentResult(
         "fairness", "Mix fairness: slowdown spread per design", columns)
-    for mix in workloads or ("M1", "M5", "M8"):
+    for mix in workloads or FAIRNESS_MIXES:
         solo = _solo_times(mix, refs, seed, use_cache)
         base: Optional[RunMetrics] = None
         for design in FAIRNESS_DESIGNS:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..common.statistics import gmean_improvement
+from ..exec.plan import RunSpec
 from ..sim.metrics import RunMetrics
 from ..sim.runner import run_workload
 from ..trace.multiprog import mix_names
@@ -27,6 +28,50 @@ DESIGNS = ("sas", "charm", "das", "das_fm", "fs")
 #: Default run lengths (references per core) for full regeneration.
 SINGLE_REFS = 150_000
 MIX_REFS = 60_000
+
+
+def _design_specs(workloads: List[str], references: int,
+                  designs: tuple) -> List[RunSpec]:
+    """Pre-planned specs: each workload across the given designs."""
+    return [RunSpec(workload, design, references)
+            for workload in workloads for design in designs]
+
+
+def fig7a_plan(references: Optional[int] = None,
+               workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    return _design_specs(workloads or benchmark_names(),
+                         references or SINGLE_REFS,
+                         ("standard", *DESIGNS))
+
+
+def fig7b_plan(references: Optional[int] = None,
+               workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    return _design_specs(workloads or benchmark_names(),
+                         references or SINGLE_REFS, ("das",))
+
+
+def fig7c_plan(references: Optional[int] = None,
+               workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    return _design_specs(workloads or benchmark_names(),
+                         references or SINGLE_REFS, ("charm", "das"))
+
+
+def fig7d_plan(references: Optional[int] = None,
+               workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    return _design_specs(workloads or mix_names(),
+                         references or MIX_REFS, ("standard", *DESIGNS))
+
+
+def fig7e_plan(references: Optional[int] = None,
+               workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    return _design_specs(workloads or mix_names(),
+                         references or MIX_REFS, ("das",))
+
+
+def fig7f_plan(references: Optional[int] = None,
+               workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    return _design_specs(workloads or mix_names(),
+                         references or MIX_REFS, ("charm", "das"))
 
 
 def _design_suite(workload: str, references: int,

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from ..common.config import AsymmetricConfig
 from ..common.statistics import gmean_improvement
+from ..exec.plan import RunSpec
 from ..sim.metrics import RunMetrics
 from ..sim.runner import run_workload
 from ..trace.spec2006 import benchmark_names
@@ -21,6 +22,33 @@ from .report import ExperimentResult
 
 #: Thresholds in the paper's presentation order.
 THRESHOLDS = (8, 4, 2, 1)
+
+
+def _threshold_specs(references: Optional[int], workloads: Optional[List[str]],
+                     with_baseline: bool) -> List[RunSpec]:
+    refs = references or SINGLE_REFS
+    specs: List[RunSpec] = []
+    for workload in workloads or benchmark_names():
+        if with_baseline:
+            specs.append(RunSpec(workload, "standard", refs))
+        specs.extend(
+            RunSpec(workload, "das", refs,
+                    asym=AsymmetricConfig(promotion_threshold=threshold))
+            for threshold in THRESHOLDS)
+    return specs
+
+
+def fig8a_plan(references: Optional[int] = None,
+               workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    return _threshold_specs(references, workloads, with_baseline=True)
+
+
+def fig8b_plan(references: Optional[int] = None,
+               workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    return _threshold_specs(references, workloads, with_baseline=False)
+
+
+fig8c_plan = fig8b_plan
 
 
 def _threshold_run(workload: str, threshold: int, references: int,

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 from ..common.config import AsymmetricConfig
 from ..common.statistics import gmean_improvement
 from ..common.units import KiB
+from ..exec.plan import RunSpec
 from ..sim.runner import run_workload
 from ..trace.spec2006 import benchmark_names
 from .fig7 import SINGLE_REFS
@@ -31,6 +32,54 @@ GROUP_SIZES = (8, 16, 32, 64)
 #: Fast-level capacity ratios.
 FAST_RATIOS = ((32, 1.0 / 32.0), (16, 1.0 / 16.0),
                (8, 1.0 / 8.0), (4, 1.0 / 4.0))
+
+
+def _tc_variants() -> List[tuple]:
+    return [(label, AsymmetricConfig(translation_cache_bytes=size))
+            for label, size in TC_SIZES]
+
+
+def _group_variants() -> List[tuple]:
+    return [(f"{rows}-row", AsymmetricConfig(migration_group_rows=rows))
+            for rows in GROUP_SIZES]
+
+
+def _ratio_variants(replacement: str) -> List[tuple]:
+    return [(f"1/{denominator}",
+             AsymmetricConfig(fast_ratio=ratio, replacement=replacement))
+            for denominator, ratio in FAST_RATIOS]
+
+
+def _variant_specs(variants: List[tuple], references: Optional[int],
+                   workloads: Optional[List[str]]) -> List[RunSpec]:
+    """Pre-planned specs for one DAS config sweep (baseline included)."""
+    refs = references or SINGLE_REFS
+    specs: List[RunSpec] = []
+    for workload in workloads or benchmark_names():
+        specs.append(RunSpec(workload, "standard", refs))
+        specs.extend(RunSpec(workload, "das", refs, asym=asym)
+                     for _, asym in variants)
+    return specs
+
+
+def fig9a_plan(references: Optional[int] = None,
+               workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    return _variant_specs(_tc_variants(), references, workloads)
+
+
+def fig9b_plan(references: Optional[int] = None,
+               workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    return _variant_specs(_group_variants(), references, workloads)
+
+
+def fig9c_plan(references: Optional[int] = None,
+               workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    return _variant_specs(_ratio_variants("random"), references, workloads)
+
+
+def fig9d_plan(references: Optional[int] = None,
+               workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    return _variant_specs(_ratio_variants("lru"), references, workloads)
 
 
 def _sweep(
@@ -69,10 +118,7 @@ def fig9a(references: Optional[int] = None,
           workloads: Optional[List[str]] = None) -> ExperimentResult:
     """Figure 9a: translation-cache capacity sensitivity."""
     refs = references or SINGLE_REFS
-    variants = [
-        (label, AsymmetricConfig(translation_cache_bytes=size))
-        for label, size in TC_SIZES
-    ]
+    variants = _tc_variants()
     result = _sweep(
         "fig9a", "Translation-cache capacity sensitivity",
         variants, refs, use_cache, workloads)
@@ -87,10 +133,7 @@ def fig9b(references: Optional[int] = None,
           workloads: Optional[List[str]] = None) -> ExperimentResult:
     """Figure 9b: migration-group size sensitivity."""
     refs = references or SINGLE_REFS
-    variants = [
-        (f"{rows}-row", AsymmetricConfig(migration_group_rows=rows))
-        for rows in GROUP_SIZES
-    ]
+    variants = _group_variants()
     result = _sweep(
         "fig9b", "Migration-group size sensitivity", variants, refs,
         use_cache, workloads)
@@ -101,11 +144,7 @@ def fig9b(references: Optional[int] = None,
 def _ratio_sweep(experiment_id: str, replacement: str, references: int,
                  use_cache: bool,
                  workloads: Optional[List[str]] = None) -> ExperimentResult:
-    variants = [
-        (f"1/{denominator}",
-         AsymmetricConfig(fast_ratio=ratio, replacement=replacement))
-        for denominator, ratio in FAST_RATIOS
-    ]
+    variants = _ratio_variants(replacement)
     result = _sweep(
         experiment_id,
         f"Fast-level capacity ratio ({replacement} replacement)",

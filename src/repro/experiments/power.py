@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..exec.plan import RunSpec
 from ..sim.runner import run_workload
 from ..trace.spec2006 import benchmark_names
 from .fig7 import SINGLE_REFS
@@ -18,6 +19,14 @@ from .report import ExperimentResult
 
 #: Designs compared in the power study.
 POWER_DESIGNS = ("standard", "charm", "das", "fs")
+
+
+def power_study_plan(references: Optional[int] = None,
+                     workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    refs = references or SINGLE_REFS
+    return [RunSpec(workload, design, refs)
+            for workload in workloads or benchmark_names()
+            for design in POWER_DESIGNS]
 
 
 def power_study(references: Optional[int] = None,

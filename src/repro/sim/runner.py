@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..common.config import AsymmetricConfig, ControllerConfig, SystemConfig
 from ..common.rng import derive_seed
@@ -54,7 +55,14 @@ def _load_cached(key: str) -> Optional[RunMetrics]:
         with path.open() as stream:
             return RunMetrics.from_dict(json.load(stream))
     except (ValueError, TypeError, OSError):
+        # A corrupt entry (e.g. leftover of a crashed pre-atomic writer)
+        # is a miss; drop it so the next store replaces it wholesale.
+        try:
+            path.unlink()
+        except OSError:
+            pass
         return None
+
 
 def _store_cached(key: str, metrics: RunMetrics) -> None:
     if not _cache_enabled():
@@ -62,8 +70,21 @@ def _store_cached(key: str, metrics: RunMetrics) -> None:
     directory = cache_dir()
     directory.mkdir(parents=True, exist_ok=True)
     path = _cache_path(key)
-    with path.open("w") as stream:
-        json.dump(metrics.to_dict(), stream)
+    # Write-to-temp + atomic rename: a concurrent reader sees either the
+    # old file or the complete new one, never truncated JSON.  Racing
+    # writers both produce valid files and the last rename wins.
+    fd, tmp_name = tempfile.mkstemp(dir=str(directory),
+                                    prefix=f".{key}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as stream:
+            json.dump(metrics.to_dict(), stream)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def make_config(
@@ -104,6 +125,38 @@ def _workload_traces(
     raise KeyError(f"unknown workload {workload!r}")
 
 
+def resolve_run_shape(workload: str,
+                      references: Optional[int]) -> Tuple[int, int]:
+    """(num_cores, references) a run of ``workload`` will actually use.
+
+    Mixes run four cores at the mix default length; everything else runs
+    one core at the single-programming default.  The executor's planner
+    relies on this so pre-planned specs and :func:`run_workload` agree on
+    cache keys.
+    """
+    is_mix = workload in MIXES
+    num_cores = 4 if is_mix else 1
+    if references is None:
+        references = DEFAULT_MIX_REFS if is_mix else DEFAULT_SINGLE_REFS
+    return num_cores, references
+
+
+def run_cache_key(
+    workload: str,
+    design: str = "das",
+    references: Optional[int] = None,
+    seed: int = 1,
+    asym: Optional[AsymmetricConfig] = None,
+    controller: Optional[ControllerConfig] = None,
+) -> str:
+    """The disk-cache key :func:`run_workload` would use for these args."""
+    num_cores, references = resolve_run_shape(workload, references)
+    config = make_config(design, num_cores=num_cores, seed=seed, asym=asym,
+                         controller=controller)
+    return (f"v{CODE_VERSION}-{workload}-{references}-"
+            f"{config.cache_key()}")
+
+
 def run_workload(
     workload: str,
     design: str = "das",
@@ -118,10 +171,7 @@ def run_workload(
     ``workload`` is either a SPEC benchmark name (single-programming) or a
     mix name ``M1``..``M8`` (multi-programming, four cores).
     """
-    is_mix = workload in MIXES
-    num_cores = 4 if is_mix else 1
-    if references is None:
-        references = DEFAULT_MIX_REFS if is_mix else DEFAULT_SINGLE_REFS
+    num_cores, references = resolve_run_shape(workload, references)
     config = make_config(design, num_cores=num_cores, seed=seed, asym=asym,
                          controller=controller)
     key = (f"v{CODE_VERSION}-{workload}-{references}-"

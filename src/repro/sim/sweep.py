@@ -15,13 +15,11 @@ their own design points without writing a harness.
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..common.config import AsymmetricConfig, ControllerConfig
 from ..common.statistics import gmean_improvement
 from ..experiments.report import ExperimentResult
-from .runner import run_workload
 
 
 def sweep_asym(
@@ -32,12 +30,15 @@ def sweep_asym(
     references: Optional[int] = None,
     seed: int = 1,
     use_cache: bool = True,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Sweep :class:`AsymmetricConfig` field overrides.
 
     ``variants`` maps a column label to the field overrides of one design
     point (e.g. ``{"1/16": {"fast_ratio": 1/16}}``).  Each cell is the %
     performance improvement of ``design`` over standard DRAM.
+    ``jobs > 1`` fans the deduplicated runs out over a process pool
+    before tabulating.
     """
     if not variants:
         raise ValueError("need at least one variant")
@@ -46,7 +47,7 @@ def sweep_asym(
         for label, overrides in variants.items()
     }
     return _sweep(study_id, configs, workloads, design, references, seed,
-                  use_cache, kind="asym")
+                  use_cache, kind="asym", jobs=jobs)
 
 
 def sweep_designs(
@@ -56,13 +57,14 @@ def sweep_designs(
     references: Optional[int] = None,
     seed: int = 1,
     use_cache: bool = True,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Sweep design variants (each column one design name)."""
     if not designs:
         raise ValueError("need at least one design")
     configs = {design: None for design in designs}
     return _sweep(study_id, configs, workloads, None, references, seed,
-                  use_cache, kind="design")
+                  use_cache, kind="design", jobs=jobs)
 
 
 def sweep_controller(
@@ -73,6 +75,7 @@ def sweep_controller(
     references: Optional[int] = None,
     seed: int = 1,
     use_cache: bool = True,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Sweep :class:`ControllerConfig` field overrides.
 
@@ -86,42 +89,58 @@ def sweep_controller(
         for label, overrides in variants.items()
     }
     return _sweep(study_id, configs, workloads, design, references, seed,
-                  use_cache, kind="controller")
+                  use_cache, kind="controller", jobs=jobs)
+
+
+def _cell_specs(workload, label, configs, design, references, seed,
+                kind) -> Tuple["RunSpec", "RunSpec"]:
+    """(baseline spec, measured spec) for one table cell."""
+    from ..exec.plan import RunSpec
+
+    if kind == "asym":
+        return (RunSpec(workload, "standard", references, seed),
+                RunSpec(workload, design, references, seed,
+                        asym=configs[label]))
+    if kind == "design":
+        return (RunSpec(workload, "standard", references, seed),
+                RunSpec(workload, label, references, seed))
+    # controller: the baseline shares the cell's controller variant.
+    return (RunSpec(workload, "standard", references, seed,
+                    controller=configs[label]),
+            RunSpec(workload, design, references, seed,
+                    controller=configs[label]))
 
 
 def _sweep(study_id, configs, workloads, design, references, seed,
-           use_cache, kind) -> ExperimentResult:
+           use_cache, kind, jobs=1) -> ExperimentResult:
+    from ..exec.plan import JobGraph
+    from ..exec.pool import execute
+
     labels = list(configs)
+    # Phase 1: plan every cell's (baseline, measured) runs, deduplicated
+    # on the runner's cache key — the shared standard baseline appears
+    # once no matter how many columns divide by it.
+    graph = JobGraph()
+    cells: Dict[Tuple[str, str], Tuple[object, object]] = {}
+    for workload in workloads:
+        for label in labels:
+            base_spec, metrics_spec = _cell_specs(
+                workload, label, configs, design, references, seed, kind)
+            graph.add(base_spec)
+            graph.add(metrics_spec)
+            cells[(workload, label)] = (base_spec, metrics_spec)
+    # Phase 2: execute (inline when jobs=1, worker pool otherwise).
+    report = execute(graph.specs, jobs=jobs, use_cache=use_cache)
+
     result = ExperimentResult(study_id, f"{kind} sweep",
                               ["workload", *labels])
     per_label: Dict[str, List[float]] = {label: [] for label in labels}
     for workload in workloads:
         row: Dict[str, object] = {"workload": workload}
-        default_base = None
         for label in labels:
-            if kind == "asym":
-                base = default_base or run_workload(
-                    workload, "standard", references, seed,
-                    use_cache=use_cache)
-                default_base = base
-                metrics = run_workload(workload, design, references, seed,
-                                       asym=configs[label],
-                                       use_cache=use_cache)
-            elif kind == "design":
-                base = default_base or run_workload(
-                    workload, "standard", references, seed,
-                    use_cache=use_cache)
-                default_base = base
-                metrics = run_workload(workload, label, references, seed,
-                                       use_cache=use_cache)
-            else:  # controller
-                base = run_workload(workload, "standard", references,
-                                    seed, controller=configs[label],
-                                    use_cache=use_cache)
-                metrics = run_workload(workload, design, references, seed,
-                                       controller=configs[label],
-                                       use_cache=use_cache)
-            improvement = metrics.improvement_percent(base)
+            base_spec, metrics_spec = cells[(workload, label)]
+            improvement = report.get(metrics_spec).improvement_percent(
+                report.get(base_spec))
             row[label] = improvement
             per_label[label].append(improvement)
         result.add_row(**row)

@@ -23,6 +23,20 @@ class TestRun:
         assert "unknown" in capsys.readouterr().err
 
 
+class TestTraceReplay:
+    def test_replay_honours_refs_and_seed(self, capsys, tmp_path,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        trace = tmp_path / "lq.trace"
+        assert main(["trace", "dump", "libquantum", "--out", str(trace),
+                     "--refs", "3000"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "run", str(trace), "--refs", "1000",
+                     "--seed", "5", "--design", "standard"]) == 0
+        out = capsys.readouterr().out
+        assert "mpki" in out
+
+
 class TestBench:
     def test_bench_small_run(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

@@ -1,0 +1,205 @@
+"""Tests for the parallel execution engine (repro.exec)."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.exec import (
+    ExecutionError,
+    JobGraph,
+    RunSpec,
+    execute,
+    plan_experiments,
+)
+from repro.exec.pool import run_spec_worker
+from repro.sim.runner import _load_cached, _store_cached, run_workload
+
+REFS = 1500
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(monkeypatch, tmp_path):
+    """Every test gets its own empty disk cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    return tmp_path
+
+
+class TestPlanner:
+    def test_shared_baseline_planned_once(self):
+        """The standard baseline every figure divides by dedups to one job."""
+        graph = plan_experiments(["fig7a", "fig8a", "fig9b"],
+                                 references=REFS, workloads=["libquantum"])
+        standards = [spec for spec in graph.specs
+                     if spec.design == "standard"]
+        assert len(standards) == 1
+        assert graph.demanded > len(graph)
+        assert graph.deduplicated == graph.demanded - len(graph)
+
+    def test_identical_specs_share_a_key(self):
+        graph = JobGraph()
+        assert graph.add(RunSpec("mcf", "das", REFS))
+        assert not graph.add(RunSpec("mcf", "das", REFS))
+        assert graph.demanded == 2 and len(graph) == 1
+
+    def test_spec_key_matches_runner_key(self, tmp_path):
+        """A planned spec's key is the key run_workload caches under."""
+        spec = RunSpec("libquantum", "standard", REFS)
+        run_workload(spec.workload, spec.design, spec.references)
+        assert _load_cached(spec.cache_key()) is not None
+
+    def test_unplannable_experiment_contributes_nothing(self):
+        assert plan_experiments(["table1", "table2"]).specs == []
+
+    def test_full_registry_plans(self):
+        """Every registered experiment (bar the tables) declares specs."""
+        from repro.experiments.registry import EXPERIMENTS, plan_experiment
+
+        for experiment_id, experiment in EXPERIMENTS.items():
+            specs = plan_experiment(experiment_id, references=100)
+            if experiment.takes_references:
+                assert specs, f"{experiment_id} declared no specs"
+
+
+class TestExecutor:
+    def test_parallel_matches_serial(self):
+        """jobs=2 returns metrics identical to direct serial simulation."""
+        specs = [RunSpec("libquantum", design, REFS)
+                 for design in ("standard", "das")]
+        report = execute(specs, jobs=2)
+        assert report.executed == 2 and report.cache_hits == 0
+        for spec in specs:
+            direct = run_workload(spec.workload, spec.design,
+                                  spec.references, use_cache=False)
+            assert report.get(spec).to_dict() == direct.to_dict()
+
+    def test_warm_batch_is_pure_recall(self):
+        specs = [RunSpec("libquantum", "standard", REFS)]
+        first = execute(specs, jobs=1)
+        second = execute(specs, jobs=2)
+        assert first.executed == 1
+        assert second.cache_hits == 1 and second.executed == 0
+        assert (second.get(specs[0]).to_dict()
+                == first.get(specs[0]).to_dict())
+
+    def test_experiment_after_execute_never_simulates(self, monkeypatch):
+        """Executing the plan makes the harness pure cache recall."""
+        from repro.experiments.fig7 import fig7b, fig7b_plan
+        import repro.sim.system
+
+        specs = fig7b_plan(references=REFS, workloads=["libquantum"])
+        execute(specs, jobs=1)
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("harness simulated despite warm cache")
+
+        monkeypatch.setattr("repro.sim.runner.simulate", _boom)
+        result = fig7b(references=REFS, workloads=["libquantum"])
+        assert result.rows  # tabulated entirely from cache
+
+    def test_use_cache_false_runs_everything(self):
+        spec = RunSpec("libquantum", "standard", REFS)
+        execute([spec], jobs=1)  # warm the disk cache
+        report = execute([spec], jobs=1, use_cache=False)
+        assert report.cache_hits == 0 and report.executed == 1
+
+
+class TestAtomicCache:
+    def test_partial_write_is_a_miss_and_heals(self, tmp_path):
+        """A truncated cache file never surfaces; the next store fixes it."""
+        spec = RunSpec("libquantum", "standard", REFS)
+        metrics = run_workload(spec.workload, spec.design, spec.references)
+        cache = Path(os.environ["REPRO_CACHE_DIR"])
+        path = cache / f"{spec.cache_key()}.json"
+        complete = path.read_text()
+        path.write_text(complete[: len(complete) // 2])  # simulated crash
+
+        assert _load_cached(spec.cache_key()) is None
+        assert not path.exists()  # corrupt entry dropped
+
+        _store_cached(spec.cache_key(), metrics)
+        assert json.loads(path.read_text()) == metrics.to_dict()
+
+    def test_store_leaves_no_temp_files(self):
+        spec = RunSpec("libquantum", "standard", REFS)
+        run_workload(spec.workload, spec.design, spec.references)
+        cache = Path(os.environ["REPRO_CACHE_DIR"])
+        assert not list(cache.glob("*.tmp"))
+
+
+def _crash_once_worker(spec, use_cache=True):
+    """Hard-kill the worker process on the first attempt (pool test)."""
+    marker = Path(os.environ["REPRO_TEST_CRASH_MARKER"])
+    if not marker.exists():
+        marker.write_text("crashed")
+        os._exit(17)  # abrupt death -> BrokenProcessPool in the parent
+    return run_spec_worker(spec, use_cache)
+
+
+def _raise_once_worker(spec, use_cache=True):
+    """Raise on the first attempt (inline/exception retry path)."""
+    marker = Path(os.environ["REPRO_TEST_CRASH_MARKER"])
+    if not marker.exists():
+        marker.write_text("raised")
+        raise RuntimeError("transient failure")
+    return run_spec_worker(spec, use_cache)
+
+
+def _always_fail_worker(spec, use_cache=True):
+    raise RuntimeError("permanent failure")
+
+
+class TestRetry:
+    def test_retry_after_worker_crash(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TEST_CRASH_MARKER",
+                           str(tmp_path / "marker"))
+        spec = RunSpec("libquantum", "standard", REFS)
+        report = execute([spec], jobs=2, retries=2,
+                         worker=_crash_once_worker)
+        assert report.retried >= 1
+        assert report.executed == 1
+        direct = run_workload(spec.workload, spec.design, spec.references,
+                              use_cache=False)
+        assert report.get(spec).to_dict() == direct.to_dict()
+
+    def test_retry_after_worker_exception_inline(self, monkeypatch,
+                                                 tmp_path):
+        monkeypatch.setenv("REPRO_TEST_CRASH_MARKER",
+                           str(tmp_path / "marker"))
+        spec = RunSpec("libquantum", "standard", REFS)
+        report = execute([spec], jobs=1, retries=1,
+                         worker=_raise_once_worker)
+        assert report.retried == 1 and report.executed == 1
+
+    def test_exhausted_retries_raise_with_partial_report(self):
+        spec = RunSpec("libquantum", "standard", REFS)
+        with pytest.raises(ExecutionError) as excinfo:
+            execute([spec], jobs=1, retries=1, worker=_always_fail_worker)
+        report = excinfo.value.report
+        assert report.failed and report.executed == 0
+        assert "libquantum" in report.failed[0]
+
+
+class TestSweepRouting:
+    def test_sweep_jobs_matches_serial(self):
+        from repro.sim.sweep import sweep_designs
+
+        serial = sweep_designs("s", ["das"], ["libquantum"],
+                               references=REFS, use_cache=False)
+        parallel = sweep_designs("s", ["das"], ["libquantum"],
+                                 references=REFS, use_cache=False, jobs=2)
+        assert serial.rows == parallel.rows
+
+
+class TestCLI:
+    def test_run_jobs_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "fig7b", "--refs", "1200", "--jobs", "2",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7b" in out
