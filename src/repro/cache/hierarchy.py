@@ -9,12 +9,12 @@ memory-system latency computed by the controller.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..common.config import HierarchyConfig
 from ..common.rng import make_rng
+from ..common.statistics import StatGroup
 from .cache import Cache
 
 #: Levels a reference can hit at.
@@ -98,6 +98,26 @@ class CacheHierarchy:
     def total_llc_misses(self) -> int:
         """Demand LLC misses summed over cores."""
         return sum(self.llc_demand_misses)
+
+    def stats_group(self) -> StatGroup:
+        """Export per-level hit/miss counts as a ``[caches]`` subtree.
+
+        Private levels aggregate across cores (per-core detail lives in
+        the core groups as stalls/latency, not repeated here).
+        """
+        group = StatGroup("caches")
+        for name, caches in (("l1", self.l1), ("l2", self.l2),
+                             ("llc", [self.llc])):
+            level = group.child(name)
+            hits = sum(cache.hits for cache in caches)
+            misses = sum(cache.misses for cache in caches)
+            level.counter("hits").add(hits)
+            level.counter("misses").add(misses)
+            total = hits + misses
+            level.set_scalar("hit_rate", hits / total if total else 0.0)
+        group.child("llc").counter("demand_misses").add(
+            self.total_llc_misses())
+        return group
 
     def reset_stats(self) -> None:
         """Zero all per-level statistics (contents preserved)."""

@@ -7,6 +7,8 @@ Examples::
     repro run fig7a --refs 50000   # quicker, shorter run
     repro run all --jobs 8         # regenerate everything in parallel
     repro bench mcf --design das   # one ad-hoc workload run
+    repro stats mcf --design das   # full nested statistics report
+    repro events mcf --out t.json  # capture a Perfetto-loadable trace
 """
 
 from __future__ import annotations
@@ -52,6 +54,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="also render the result as ASCII bars")
     run.add_argument("--save", metavar="DIR", default=None,
                      help="also write each result as JSON into DIR")
+    run.add_argument("--log-json", metavar="PATH", default=None,
+                     help="write executor telemetry (cache hits, per-job "
+                          "wall time and worker, failures, summary) as "
+                          "JSON lines to PATH")
 
     trace = sub.add_parser("trace", help="dump or replay trace files")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -76,6 +82,31 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--design", default="das", choices=DESIGNS)
     bench.add_argument("--refs", type=int, default=None)
     bench.add_argument("--no-cache", action="store_true")
+
+    stats = sub.add_parser(
+        "stats", help="print a run's full nested statistics tree")
+    stats.add_argument("workload",
+                       help="benchmark or mix name (as for 'bench')")
+    stats.add_argument("--design", default="das", choices=DESIGNS)
+    stats.add_argument("--refs", type=int, default=None)
+    stats.add_argument("--seed", type=int, default=1)
+    stats.add_argument("--no-cache", action="store_true")
+
+    events = sub.add_parser(
+        "events", help="re-simulate with event tracing; export the trace")
+    events.add_argument("workload",
+                        help="benchmark or mix name (as for 'bench')")
+    events.add_argument("--design", default="das", choices=DESIGNS)
+    events.add_argument("--refs", type=int, default=None)
+    events.add_argument("--seed", type=int, default=1)
+    events.add_argument("--out", required=True, metavar="PATH",
+                        help="Chrome-trace JSON output (open in "
+                             "https://ui.perfetto.dev or chrome://tracing)")
+    events.add_argument("--capacity", type=int, default=65536,
+                        help="event ring size; older events beyond this "
+                             "are dropped (default: 65536)")
+    events.add_argument("--timeline", type=int, default=0, metavar="N",
+                        help="also print the first N events as text")
     return parser
 
 
@@ -93,7 +124,7 @@ def _env_override(name: str, value: str) -> Iterator[None]:
 
 
 def _pre_execute(ids: List[str], refs: Optional[int], jobs: int,
-                 timeout: Optional[float], retries: int) -> None:
+                 timeout: Optional[float], retries: int, log=None) -> None:
     """Plan the experiments' job graph and warm the cache in parallel."""
     from .exec import ProgressLine, execute, plan_experiments
 
@@ -103,12 +134,13 @@ def _pre_execute(ids: List[str], refs: Optional[int], jobs: int,
     print(f"planned {graph.demanded} runs -> {len(graph)} unique "
           f"({graph.deduplicated} deduplicated)", file=sys.stderr)
     report = execute(graph.specs, jobs=jobs, timeout_s=timeout,
-                     retries=retries, progress=ProgressLine())
+                     retries=retries, progress=ProgressLine(), log=log)
     print(report.summary(), file=sys.stderr)
 
 
 def _run_parallel(args, ids: List[str], use_cache: bool) -> None:
-    """``repro run --jobs N``: plan / execute / tabulate.
+    """``repro run --jobs N`` (or ``--log-json``): plan / execute /
+    tabulate.
 
     Without ``--no-cache`` workers warm the shared disk cache and the
     tabulation phase is pure recall.  With ``--no-cache`` the same flow
@@ -124,7 +156,13 @@ def _run_parallel(args, ids: List[str], use_cache: bool) -> None:
                 tempfile.TemporaryDirectory(prefix="repro-exec-"))
             stack.enter_context(_env_override("REPRO_CACHE_DIR", scratch))
             stack.enter_context(_env_override("REPRO_NO_CACHE", "0"))
-        _pre_execute(ids, args.refs, args.jobs, args.timeout, args.retries)
+        log = None
+        if args.log_json is not None:
+            from .exec import JsonlLog
+
+            log = stack.enter_context(JsonlLog(args.log_json))
+        _pre_execute(ids, args.refs, args.jobs, args.timeout, args.retries,
+                     log=log)
         _run_experiments(ids, args.refs, True, args.chart, args.save)
 
 
@@ -172,7 +210,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"unknown experiment(s): {', '.join(unknown)}",
                   file=sys.stderr)
             return 2
-        if args.jobs > 1:
+        if args.jobs > 1 or args.log_json is not None:
             from .exec import ExecutionError
 
             try:
@@ -186,6 +224,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "trace":
         return _trace_command(args)
+    if args.command == "stats":
+        return _stats_command(args)
+    if args.command == "events":
+        return _events_command(args)
     if args.command == "bench":
         metrics = run_workload(args.workload, args.design,
                                references=args.refs,
@@ -201,6 +243,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  mean_read_latency={metrics.mean_read_latency_ns:.1f} ns")
         return 0
     raise AssertionError("unreachable")
+
+
+def _stats_command(args) -> int:
+    """Handle ``repro stats``: run (or recall) and print the full tree."""
+    from .obs import render_stats
+
+    metrics = run_workload(args.workload, args.design,
+                           references=args.refs, seed=args.seed,
+                           use_cache=not args.no_cache)
+    print(f"workload={metrics.workload} design={metrics.design} "
+          f"references={metrics.references}")
+    print(render_stats(metrics.stats))
+    return 0
+
+
+def _events_command(args) -> int:
+    """Handle ``repro events``: traced re-simulation + trace export."""
+    from .obs import trace_workload
+
+    metrics, tracer = trace_workload(
+        args.workload, design=args.design, references=args.refs,
+        seed=args.seed, capacity=args.capacity)
+    tracer.write_chrome_trace(args.out)
+    if args.timeline:
+        print(tracer.timeline(limit=args.timeline))
+    print(f"workload={metrics.workload} design={metrics.design}: "
+          f"{len(tracer)} events retained ({tracer.emitted} emitted, "
+          f"{tracer.dropped} dropped) -> {args.out}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
 
 
 def _trace_command(args) -> int:

@@ -8,7 +8,7 @@ export to plain dictionaries for JSON caching.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 
 class Counter:
@@ -65,6 +65,14 @@ class Accumulator:
         variance = self.total_sq / self.count - self.mean**2
         return math.sqrt(max(variance, 0.0))
 
+    def reset(self) -> None:
+        """Drop all samples."""
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "count": self.count,
@@ -89,10 +97,15 @@ class Histogram:
         self.buckets = [0] * num_buckets
         self.overflow = 0
         self.count = 0
+        #: Largest sample observed; bounds percentiles that land in the
+        #: overflow bucket (heavy-tailed latency distributions).
+        self.max_sample = 0.0
 
     def add(self, sample: float) -> None:
         """Record one sample into its bucket."""
         self.count += 1
+        if sample > self.max_sample:
+            self.max_sample = sample
         index = int(sample // self.bucket_width)
         if 0 <= index < len(self.buckets):
             self.buckets[index] += 1
@@ -100,7 +113,11 @@ class Histogram:
             self.overflow += 1
 
     def percentile(self, fraction: float) -> float:
-        """Approximate the ``fraction`` percentile (bucket upper edge)."""
+        """Approximate the ``fraction`` percentile (bucket upper edge).
+
+        A target that falls in the overflow bucket is clamped to the
+        largest observed sample, keeping tail percentiles finite.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be within [0, 1]")
         if self.count == 0:
@@ -111,7 +128,14 @@ class Histogram:
             seen += bucket_count
             if seen >= target:
                 return (index + 1) * self.bucket_width
-        return math.inf
+        return self.max_sample
+
+    def reset(self) -> None:
+        """Drop all samples (geometry preserved)."""
+        self.buckets = [0] * len(self.buckets)
+        self.overflow = 0
+        self.count = 0
+        self.max_sample = 0.0
 
 
 def geometric_mean(values: Sequence[float]) -> float:
@@ -176,6 +200,28 @@ class StatGroup:
             self._children[name] = StatGroup(name)
         return self._children[name]
 
+    def adopt(self, group: "StatGroup") -> "StatGroup":
+        """Mount an existing group as the child named ``group.name``.
+
+        This is how components that own their statistics (translation
+        cache, migration engine, ...) are composed into one tree: the
+        child keeps its identity, so the component's hot-path counter
+        references and the tree see the same objects.
+        """
+        self._children[group.name] = group
+        return group
+
+    def reset(self) -> None:
+        """Recursively zero counters and accumulators, drop scalars, and
+        reset every child group (the warmup-boundary reset)."""
+        for counter in self._counters.values():
+            counter.reset()
+        for acc in self._accumulators.values():
+            acc.reset()
+        self._scalars.clear()
+        for group in self._children.values():
+            group.reset()
+
     def ratio(self, numerator: str, denominator: str) -> float:
         """Ratio of two counters; 0.0 when the denominator is zero."""
         num = self.counter(numerator).value
@@ -193,6 +239,39 @@ class StatGroup:
         for name, group in self._children.items():
             out[name] = group.as_dict()
         return out
+
+    #: Keys that identify an exported :class:`Accumulator` in a stats dict.
+    _ACC_KEYS = frozenset(("count", "sum", "mean", "min", "max", "stdev"))
+
+    @classmethod
+    def from_dict(cls, name: str, data: Mapping[str, object]) -> "StatGroup":
+        """Rebuild a group tree from :meth:`as_dict` output.
+
+        Used to render cached statistics (``RunMetrics.stats`` recalled
+        from the JSON result cache) with :meth:`report`.  Accumulators are
+        restored to summary-equivalent state; individual samples are gone.
+        """
+        group = cls(name)
+        for key, value in data.items():
+            if isinstance(value, Mapping):
+                if set(value) == cls._ACC_KEYS:
+                    acc = group.accumulator(key)
+                    acc.count = int(value["count"])  # type: ignore[arg-type]
+                    acc.total = float(value["sum"])  # type: ignore[arg-type]
+                    if acc.count:
+                        acc.min = float(value["min"])  # type: ignore[arg-type]
+                        acc.max = float(value["max"])  # type: ignore[arg-type]
+                        stdev = float(value["stdev"])  # type: ignore[arg-type]
+                        acc.total_sq = (stdev**2 + acc.mean**2) * acc.count
+                else:
+                    group._children[key] = cls.from_dict(key, value)
+            elif isinstance(value, bool):
+                group.set_scalar(key, float(value))
+            elif isinstance(value, int):
+                group.counter(key).add(value)
+            else:
+                group.set_scalar(key, float(value))  # type: ignore[arg-type]
+        return group
 
     def report(self, indent: int = 0) -> str:
         """Render a human-readable multi-line report."""

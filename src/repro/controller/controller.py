@@ -50,6 +50,9 @@ class Translation:
 class ManagementPolicy:
     """Interface for the (DAS) management layer plugged into the controller."""
 
+    #: Optional event tracer, attached by ``repro.sim.system.simulate``.
+    tracer = None
+
     def translate(self, logical_row: int, flat_bank: int, row: int,
                   is_write: bool, now: float) -> Translation:
         """Translate a bank-local row; default is the identity."""
@@ -58,6 +61,10 @@ class ManagementPolicy:
     def on_scheduled(self, request: Request, op: BankOp,
                      controller: "MemorySystem") -> None:
         """Hook called after a demand request is issued (promotions)."""
+
+    def stats_group(self) -> Optional[StatGroup]:
+        """Management statistics subtree, or None for stateless policies."""
+        return None
 
     def reset_stats(self) -> None:
         """Zero management statistics at the warmup boundary."""
@@ -104,6 +111,9 @@ class MemorySystem:
             for rank in range(device.geometry.ranks_per_channel)
         }
         self.refreshes = 0
+        #: Optional event tracer (attached by repro.sim.system.simulate);
+        #: None keeps the issue path branch-cheap.
+        self.tracer = None
         # Hot-path statistics (plain ints/floats for speed).
         self.reads = 0
         self.writes = 0
@@ -298,6 +308,18 @@ class MemorySystem:
         self._clock[channel] = max(self._clock[channel],
                                    now) + self._command_slot_ns
         self._record(request, op)
+        if self.tracer is not None:
+            if request.kind == TRANSLATION_READ:
+                name = "xlat_read"
+            elif request.is_write:
+                name = "write"
+            else:
+                name = "read"
+            self.tracer.emit(
+                op.first_command_ns, "dram", name,
+                dur_ns=op.data_end_ns - op.first_command_ns, tid=channel,
+                bank=request.flat_bank, row=request.row,
+                hit=op.row_hit, conflict=op.row_conflict, core=request.core)
         if self.energy is not None:
             self.energy.record_op(op, request.is_write)
         if request.kind != TRANSLATION_READ:
@@ -406,17 +428,27 @@ class MemorySystem:
         self.row_closed = 0
         self.fast_accesses = 0
         self.slow_accesses = 0
+        self.refreshes = 0
         self.read_latency_sum = 0.0
         self.read_count = 0
         self.read_latency_hist = Histogram(5.0, 400)
         self.touched_rows = set()
+        for bank in self.device.banks:
+            bank.reset_stats()
         self.manager.reset_stats()
         if self.energy is not None:
             self.energy.reset()
 
     def stats_group(self) -> StatGroup:
-        """Export counters into a :class:`StatGroup` report."""
-        group = StatGroup("memory_system")
+        """Export the controller's statistics tree.
+
+        Hot-path counters stay plain ints (see ``_record``); this method
+        snapshots them into a ``[controller]`` group, aggregates bank
+        activity into a ``[banks]`` child and mounts the management
+        layer's own tree (translation / migration / promotion for DAS)
+        as the ``[manager]`` child.
+        """
+        group = StatGroup("controller")
         group.counter("reads").add(self.reads)
         group.counter("writes").add(self.writes)
         group.counter("translation_reads").add(self.xlat_reads)
@@ -425,6 +457,30 @@ class MemorySystem:
         group.counter("row_closed").add(self.row_closed)
         group.counter("fast_accesses").add(self.fast_accesses)
         group.counter("slow_accesses").add(self.slow_accesses)
+        group.counter("refreshes").add(self.refreshes)
         group.set_scalar("mean_read_latency_ns", self.mean_read_latency_ns)
+        group.set_scalar("read_latency_p50_ns",
+                         self.read_latency_percentile(0.50))
+        group.set_scalar("read_latency_p95_ns",
+                         self.read_latency_percentile(0.95))
+        group.set_scalar("read_latency_p99_ns",
+                         self.read_latency_percentile(0.99))
+        total_row_ops = (self.row_buffer_hits + self.row_conflicts
+                         + self.row_closed)
+        group.set_scalar("row_buffer_hit_rate",
+                         self.row_buffer_hits / total_row_ops
+                         if total_row_ops else 0.0)
         group.set_scalar("footprint_bytes", self.footprint_bytes())
+        banks = group.child("banks")
+        activations = precharges = windows = 0
+        for bank in self.device.banks:
+            activations += bank.activations
+            precharges += bank.precharges
+            windows += bank.migration_windows
+        banks.counter("activations").add(activations)
+        banks.counter("precharges").add(precharges)
+        banks.counter("migration_windows").add(windows)
+        manager_stats = self.manager.stats_group()
+        if manager_stats is not None:
+            group.adopt(manager_stats)
         return group

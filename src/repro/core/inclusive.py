@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set, Tuple
 
+from ..common.statistics import StatGroup
 from ..controller.controller import ManagementPolicy, MemorySystem, Translation
 from ..controller.request import Request
 from ..dram.bank import BankOp
@@ -141,6 +142,18 @@ class InclusiveManager(ManagementPolicy):
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
+
+    def stats_group(self) -> StatGroup:
+        """Snapshot the plain-int counters (kept plain for the per-access
+        hot path) into an exported group."""
+        group = StatGroup("manager")
+        group.counter("promotions").add(self.promotions)
+        group.counter("clean_fills").add(self.clean_fills)
+        group.counter("dirty_swaps").add(self.dirty_swaps)
+        group.counter("fast_level_accesses").add(self.fast_level_accesses)
+        group.counter("slow_level_accesses").add(self.slow_level_accesses)
+        group.set_scalar("addressable_fraction", self.addressable_fraction())
+        return group
 
     def reset_stats(self) -> None:
         self.promotions = 0

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional
 
-from ..common.config import AsymmetricConfig
+from ..common.statistics import StatGroup
 from ..controller.controller import ManagementPolicy, MemorySystem, Translation
+from ..obs.tracer import MIGRATION_TID, TRANSLATION_TID
 from ..controller.request import Request
 from ..dram.bank import BankOp
 from ..dram.timing import SLOW
@@ -59,10 +60,20 @@ class DASManager(ManagementPolicy):
         #: Logical rows whose promotion swap is queued but not yet
         #: physically executed (guards against re-triggering).
         self._inflight_promotions: set = set()
-        # Statistics.
-        self.slow_level_accesses = 0
-        self.fast_level_accesses = 0
-        self.table_fetches = 0
+        # Statistics: one tree owned here, with the components' own
+        # groups mounted as children — a single recursive reset() covers
+        # the manager and everything it drives (see reset_stats).
+        self.stats = StatGroup("manager")
+        self._slow_accesses = self.stats.counter("slow_level_accesses")
+        self._fast_accesses = self.stats.counter("fast_level_accesses")
+        self._table_fetches = self.stats.counter("table_fetches")
+        translation = self.stats.child("translation")
+        translation.adopt(translation_cache.stats)
+        translation.adopt(llc_partition.stats)
+        self.stats.adopt(engine.stats)
+        self.stats.adopt(promotion.stats)
+        #: Optional event tracer (attached by repro.sim.system.simulate).
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # ManagementPolicy interface
@@ -89,7 +100,11 @@ class DASManager(ManagementPolicy):
         # Miss everywhere: fetch the translation line from DRAM.  The LLC
         # was checked on the way (one LLC latency) and the fetched line is
         # installed in both structures.
-        self.table_fetches += 1
+        self._table_fetches.add()
+        if self.tracer is not None:
+            self.tracer.emit(now, "translation", "table_fetch",
+                             tid=TRANSLATION_TID, row=logical_row,
+                             bank=flat_bank)
         self.llc_partition.insert(logical_row)
         if is_fast:
             self.translation_cache.insert(logical_row, slot)
@@ -102,9 +117,9 @@ class DASManager(ManagementPolicy):
     def on_scheduled(self, request: Request, op: BankOp,
                      controller: MemorySystem) -> None:
         if op.subarray_class != SLOW:
-            self.fast_level_accesses += 1
+            self._fast_accesses.add()
             return
-        self.slow_level_accesses += 1
+        self._slow_accesses.add()
         logical_row = request.logical_row
         if logical_row in self._inflight_promotions:
             return
@@ -167,6 +182,12 @@ class DASManager(ManagementPolicy):
             # Bounded migration queue was full: the promotion is dropped
             # and a later access to the row may trigger it again.
             self._inflight_promotions.discard(logical_row)
+        if self.tracer is not None:
+            self.tracer.emit(
+                completion, "migration",
+                "promotion" if accepted else "promotion_dropped",
+                dur_ns=self.engine.swap_latency_ns if accepted else 0.0,
+                tid=MIGRATION_TID, bank=flat_bank, row=logical_row)
 
     # ------------------------------------------------------------------
     # Statistics
@@ -176,14 +197,36 @@ class DASManager(ManagementPolicy):
     def promotions(self) -> int:
         return self.engine.promotions
 
+    @property
+    def slow_level_accesses(self) -> int:
+        return self._slow_accesses.value
+
+    @property
+    def fast_level_accesses(self) -> int:
+        return self._fast_accesses.value
+
+    @property
+    def table_fetches(self) -> int:
+        return self._table_fetches.value
+
+    def stats_group(self) -> StatGroup:
+        """The manager's statistics tree with derived scalars refreshed."""
+        self.stats.set_scalar("translation_cache_hit_rate",
+                              self.translation_cache.hit_rate)
+        self.stats.set_scalar("inflight_promotions",
+                              float(len(self._inflight_promotions)))
+        translation = self.stats.child("translation")
+        translation.set_scalar("materialized_groups",
+                               float(self.table.materialized_groups()))
+        migration = self.stats.child("migration")
+        migration.set_scalar("busy_time_ns", self.engine.busy_time_ns)
+        return self.stats
+
     def reset_stats(self) -> None:
-        self.slow_level_accesses = 0
-        self.fast_level_accesses = 0
-        self.table_fetches = 0
-        self.translation_cache.reset_stats()
-        self.llc_partition.reset_stats()
-        self.engine.reset_stats()
-        self.promotion.reset_stats()
+        # One recursive reset replaces the old per-component bookkeeping:
+        # the translation cache, LLC partition, migration engine and
+        # promotion policy groups are all children of self.stats.
+        self.stats.reset()
 
 
 class StaticAsymmetricManager(ManagementPolicy):
@@ -205,8 +248,9 @@ class StaticAsymmetricManager(ManagementPolicy):
         self.table = TranslationTable(organization)
         if row_heat:
             self._assign(row_heat)
-        self.slow_level_accesses = 0
-        self.fast_level_accesses = 0
+        self.stats = StatGroup("manager")
+        self._slow_accesses = self.stats.counter("slow_level_accesses")
+        self._fast_accesses = self.stats.counter("fast_level_accesses")
 
     def _assign(self, row_heat: Mapping[int, int]) -> None:
         org = self.organization
@@ -238,14 +282,26 @@ class StaticAsymmetricManager(ManagementPolicy):
     def on_scheduled(self, request: Request, op: BankOp,
                      controller: MemorySystem) -> None:
         if op.subarray_class == SLOW:
-            self.slow_level_accesses += 1
+            self._slow_accesses.add()
         else:
-            self.fast_level_accesses += 1
+            self._fast_accesses.add()
 
     @property
     def promotions(self) -> int:
         return 0
 
+    @property
+    def slow_level_accesses(self) -> int:
+        return self._slow_accesses.value
+
+    @property
+    def fast_level_accesses(self) -> int:
+        return self._fast_accesses.value
+
+    def stats_group(self) -> StatGroup:
+        self.stats.set_scalar("materialized_groups",
+                              float(self.table.materialized_groups()))
+        return self.stats
+
     def reset_stats(self) -> None:
-        self.slow_level_accesses = 0
-        self.fast_level_accesses = 0
+        self.stats.reset()

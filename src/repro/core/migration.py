@@ -16,6 +16,7 @@ overhead in Figure 7a.
 
 from __future__ import annotations
 
+from ..common.statistics import StatGroup
 from ..controller.controller import MemorySystem
 from ..dram.timing import TimingParams
 
@@ -27,9 +28,11 @@ class MigrationEngine:
         if swap_latency_ns < 0:
             raise ValueError("swap latency must be non-negative")
         self.swap_latency_ns = swap_latency_ns
-        self.promotions = 0
-        self.dropped = 0
-        self.busy_time_ns = 0.0
+        self.stats = StatGroup("migration")
+        self._promotions = self.stats.counter("promotions")
+        self._dropped = self.stats.counter("dropped")
+        #: One sample per timed window; ``total`` is the busy time in ns.
+        self._busy = self.stats.accumulator("window_ns")
 
     @classmethod
     def from_timing(cls, slow: TimingParams,
@@ -65,12 +68,12 @@ class MigrationEngine:
                 flat_bank, earliest_ns, self.swap_latency_ns, subarrays,
                 commit)
             if not accepted:
-                self.dropped += 1
+                self._dropped.add()
                 return False
-            self.promotions += 1
-            self.busy_time_ns += self.swap_latency_ns
+            self._promotions.add()
+            self._busy.add(self.swap_latency_ns)
             return True
-        self.promotions += 1
+        self._promotions.add()
         if commit is not None:
             commit()
         return True
@@ -83,9 +86,19 @@ class MigrationEngine:
         duration = trc_multiple * slow.tRC
         if not self.is_free:
             controller.occupy_bank(flat_bank, earliest_ns, duration)
-            self.busy_time_ns += duration
+            self._busy.add(duration)
+
+    @property
+    def promotions(self) -> int:
+        return self._promotions.value
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped.value
+
+    @property
+    def busy_time_ns(self) -> float:
+        return self._busy.total
 
     def reset_stats(self) -> None:
-        self.promotions = 0
-        self.dropped = 0
-        self.busy_time_ns = 0.0
+        self.stats.reset()

@@ -10,9 +10,14 @@ from __future__ import annotations
 
 from typing import Dict
 
+from ..common.statistics import StatGroup
+
 
 class PromotionPolicy:
     """Interface: decide whether a slow-level access triggers promotion."""
+
+    def __init__(self) -> None:
+        self.stats = StatGroup("promotion")
 
     def should_promote(self, logical_row: int) -> bool:
         raise NotImplementedError
@@ -22,10 +27,15 @@ class PromotionPolicy:
 
     def reset_stats(self) -> None:
         """Zero statistics at the warmup boundary."""
+        self.stats.reset()
 
 
 class AlwaysPromote(PromotionPolicy):
-    """Threshold-1 policy: every slow-level hit triggers a promotion."""
+    """Threshold-1 policy: every slow-level hit triggers a promotion.
+
+    Keeps no per-decision counters: the manager's slow-level access count
+    equals its decision count, so counting here would only duplicate it.
+    """
 
     name = "always"
 
@@ -44,22 +54,30 @@ class ThresholdFilter(PromotionPolicy):
             raise ValueError("threshold must be >= 1")
         if num_counters < 1:
             raise ValueError("need at least one counter")
+        super().__init__()
         self.threshold = threshold
         self.num_counters = num_counters
         self._counts: Dict[int, int] = {}
+        self._triggered = self.stats.counter("triggered")
+        self._filtered = self.stats.counter("filtered")
+        self._counter_evictions = self.stats.counter("counter_evictions")
 
     def should_promote(self, logical_row: int) -> bool:
         if self.threshold == 1:
+            self._triggered.add()
             return True
         counts = self._counts
         count = counts.pop(logical_row, 0) + 1
         if count >= self.threshold:
             # Promotion resets the counter (the row leaves the slow level).
+            self._triggered.add()
             return True
         if len(counts) >= self.num_counters:
             # Evict the least recently touched row's counter.
             del counts[next(iter(counts))]
+            self._counter_evictions.add()
         counts[logical_row] = count
+        self._filtered.add()
         return False
 
     def forget(self, logical_row: int) -> None:

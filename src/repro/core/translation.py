@@ -19,6 +19,7 @@ from __future__ import annotations
 from array import array
 from typing import Dict, Optional, Tuple
 
+from ..common.statistics import StatGroup
 from .organization import AsymmetricOrganization
 
 
@@ -78,17 +79,21 @@ class TranslationCache:
             raise ValueError("translation cache smaller than one entry")
         self.capacity_entries = capacity_bytes // entry_bytes
         self._entries: Dict[int, int] = {}
-        self.hits = 0
-        self.misses = 0
+        #: Counters live on the stats group so the observability tree and
+        #: the hot path share one set of objects (see repro.obs.stats).
+        self.stats = StatGroup("translation_cache")
+        self._hits = self.stats.counter("hits")
+        self._misses = self.stats.counter("misses")
+        self._invalidations = self.stats.counter("invalidations")
 
     def lookup(self, logical_row: int) -> Optional[int]:
         """Return the cached slot of a logical row, refreshing recency."""
         entries = self._entries
         slot = entries.get(logical_row)
         if slot is None:
-            self.misses += 1
+            self._misses.add()
             return None
-        self.hits += 1
+        self._hits.add()
         del entries[logical_row]
         entries[logical_row] = slot
         return slot
@@ -104,19 +109,27 @@ class TranslationCache:
 
     def invalidate(self, logical_row: int) -> None:
         """Drop an entry (the row left the fast level)."""
-        self._entries.pop(logical_row, None)
+        if self._entries.pop(logical_row, None) is not None:
+            self._invalidations.add()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        total = self._hits.value + self._misses.value
+        return self._hits.value / total if total else 0.0
 
     def reset_stats(self) -> None:
-        self.hits = 0
-        self.misses = 0
+        self.stats.reset()
 
 
 class LLCTranslationPartition:
@@ -140,8 +153,9 @@ class LLCTranslationPartition:
         self.capacity_lines = max(
             1, int(llc_capacity_bytes * llc_fraction) // line_bytes)
         self._lines: Dict[int, None] = {}
-        self.hits = 0
-        self.misses = 0
+        self.stats = StatGroup("llc_partition")
+        self._hits = self.stats.counter("hits")
+        self._misses = self.stats.counter("misses")
 
     def line_key(self, logical_row: int) -> int:
         """Translation line covering a logical row."""
@@ -152,11 +166,11 @@ class LLCTranslationPartition:
         key = self.line_key(logical_row)
         lines = self._lines
         if key in lines:
-            self.hits += 1
+            self._hits.add()
             del lines[key]
             lines[key] = None
             return True
-        self.misses += 1
+        self._misses.add()
         return False
 
     def insert(self, logical_row: int) -> None:
@@ -169,6 +183,13 @@ class LLCTranslationPartition:
             del lines[next(iter(lines))]
         lines[key] = None
 
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
     def reset_stats(self) -> None:
-        self.hits = 0
-        self.misses = 0
+        self.stats.reset()

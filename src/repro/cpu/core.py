@@ -24,6 +24,7 @@ from typing import Deque, Iterator, Optional, Tuple
 
 from ..cache.hierarchy import CacheHierarchy, MEMORY
 from ..common.config import CoreConfig
+from ..common.statistics import StatGroup
 from ..common.units import Frequency
 from ..controller.controller import MemorySystem
 from ..controller.request import Request
@@ -71,6 +72,12 @@ class Core:
         #: Reference consumed from the trace but not yet issued (the core
         #: blocked while making ROB room for it).
         self._pending_ref: Optional[Tuple[int, bool]] = None
+        # Fetch-stall accounting: episodes where the full ROB forced fetch
+        # to wait for a retiring DRAM load, and the time fetch lost.
+        self.rob_stalls = 0
+        self.stall_ns = 0.0
+        #: Optional event tracer (attached by repro.sim.system.simulate).
+        self.tracer = None
         # Measurement window (set at the warmup boundary).
         self.measure_start_ns = 0.0
         self.measure_start_instructions = 0
@@ -161,6 +168,13 @@ class Core:
         # Fetch cannot run ahead of the ROB: once the window filled behind
         # this load, fetch resumes when it retires.
         if self.fetch_ns < self.retire_floor_ns:
+            stall = self.retire_floor_ns - self.fetch_ns
+            self.rob_stalls += 1
+            self.stall_ns += stall
+            if self.tracer is not None:
+                self.tracer.emit(self.fetch_ns, "core", "rob_stall",
+                                 dur_ns=stall, tid=self.core_id,
+                                 core=self.core_id)
             self.fetch_ns = self.retire_floor_ns
 
     def _retire_blocked(self) -> None:
@@ -211,3 +225,14 @@ class Core:
             return 0.0
         cycles = time_ns / self._cycle_ns
         return self.measured_instructions() / cycles
+
+    def stats_group(self) -> StatGroup:
+        """Per-core statistics (whole-run counters plus windowed scalars)."""
+        group = StatGroup(f"core{self.core_id}")
+        group.counter("instructions").add(self.instructions)
+        group.counter("references").add(self.references)
+        group.counter("rob_stalls").add(self.rob_stalls)
+        group.set_scalar("stall_ns", self.stall_ns)
+        group.set_scalar("measured_time_ns", self.measured_time_ns())
+        group.set_scalar("ipc", self.ipc())
+        return group

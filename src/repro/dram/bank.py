@@ -44,6 +44,7 @@ class Bank:
         "next_activate", "next_precharge_ok", "column_ready",
         "busy_until", "pending_migrations", "active_migrations",
         "row_timeout_ns", "last_column_ns",
+        "activations", "precharges", "migration_windows",
     )
 
     def __init__(
@@ -89,6 +90,16 @@ class Bank:
         #: serving (the migration path is internal to two neighbouring
         #: subarrays and their shared half row buffers).
         self.active_migrations: List[Tuple[float, frozenset]] = []
+        # Activity counters (aggregated into the controller's stats tree).
+        self.activations = 0
+        self.precharges = 0
+        self.migration_windows = 0
+
+    def reset_stats(self) -> None:
+        """Zero activity counters at the warmup boundary."""
+        self.activations = 0
+        self.precharges = 0
+        self.migration_windows = 0
 
     def params_for(self, row: int) -> TimingParams:
         """Timing class parameters governing ``row``."""
@@ -137,6 +148,9 @@ class Bank:
                 first_cmd_lb = act_ready
             act = self.rank.activate_time(act_ready)
             activated = True
+            self.activations += 1
+            if row_conflict:
+                self.precharges += 1
             first_cmd = min(first_cmd_lb, act)
             self.open_row = row
             self._open_params = params
@@ -177,6 +191,7 @@ class Bank:
             pre = max(start, self.next_precharge_ok)
             start = pre + self._open_params.tRP
             self.open_row = None
+            self.precharges += 1
         start = max(start, self.next_activate)
         end = start + duration
         self.busy_until = end
@@ -201,6 +216,7 @@ class Bank:
         one subarray for only half the swap latency.
         """
         last_end = 0.0
+        self.migration_windows += len(self.pending_migrations)
         for ready, duration, subarrays, commit in self.pending_migrations:
             start = max(ready, self.next_precharge_ok
                         if self.open_row is not None else 0.0, last_end)
@@ -277,6 +293,7 @@ class Bank:
         pre = max(earliest, self.next_precharge_ok)
         ready = pre + self._open_params.tRP
         self.open_row = None
+        self.precharges += 1
         self.column_ready = math.inf
         self.next_activate = max(self.next_activate, ready)
         return ready

@@ -17,6 +17,7 @@ identical tables.
 from .plan import JobGraph, RunSpec, plan_experiments
 from .pool import ExecutionError, ExecutionReport, execute
 from .progress import NullProgress, ProgressLine
+from .telemetry import JsonlLog
 
 __all__ = [
     "JobGraph",
@@ -27,4 +28,5 @@ __all__ = [
     "execute",
     "NullProgress",
     "ProgressLine",
+    "JsonlLog",
 ]

@@ -24,6 +24,7 @@ Robustness contract:
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
@@ -47,6 +48,23 @@ def run_spec_worker(spec: RunSpec, use_cache: bool = True) -> Dict[str, object]:
     process boundary is exactly what the disk cache stores.
     """
     return spec.run(use_cache=use_cache).to_dict()
+
+
+def _timed_worker(worker: Worker, spec: RunSpec,
+                  use_cache: bool) -> Dict[str, object]:
+    """Pool-side wrapper adding per-job telemetry to a worker's payload.
+
+    Module-level so it pickles into the pool; the wall time and pid
+    measured *inside* the worker process attribute each job to the
+    process that actually ran it.
+    """
+    started = time.monotonic()
+    payload = worker(spec, use_cache)
+    return {
+        "payload": payload,
+        "worker": os.getpid(),
+        "wall_s": time.monotonic() - started,
+    }
 
 
 class ExecutionError(RuntimeError):
@@ -74,6 +92,9 @@ class ExecutionReport:
     retried: int = 0
     #: Per-task timeouts observed.
     timeouts: int = 0
+    #: Individual failed attempts (crashes, exceptions, timeouts) —
+    #: counts every failure, whether or not the spec later succeeded.
+    worker_failures: int = 0
     #: Human descriptions of specs that exhausted their attempts.
     failed: List[str] = field(default_factory=list)
     elapsed_s: float = 0.0
@@ -99,6 +120,8 @@ class ExecutionReport:
         ]
         if self.retried:
             parts.append(f"{self.retried} retried")
+        if self.worker_failures:
+            parts.append(f"{self.worker_failures} worker failures")
         if self.failed:
             parts.append(f"{len(self.failed)} FAILED")
         parts.append(f"{self.elapsed_s:.1f}s")
@@ -119,6 +142,7 @@ def execute(
     use_cache: bool = True,
     progress=None,
     worker: Optional[Worker] = None,
+    log=None,
 ) -> ExecutionReport:
     """Run a batch of specs; returns telemetry + results.
 
@@ -126,7 +150,9 @@ def execute(
     bound); larger values fan uncached specs out over a process pool.
     With ``use_cache`` the warm path is a pure cache read and workers
     persist what they compute; without it everything is simulated and
-    results travel back in memory only.
+    results travel back in memory only.  ``log`` (a
+    :class:`repro.exec.telemetry.JsonlLog`) receives one structured
+    event per cache hit, run and failed attempt, plus a summary.
     """
     worker = worker or run_spec_worker
     specs = list(specs)
@@ -143,23 +169,27 @@ def execute(
         if cached is not None:
             report.results[key] = cached
             report.cache_hits += 1
+            if log is not None:
+                log.cache_hit(key, spec.describe())
         else:
             pending.append((key, spec))
     report.total = report.cache_hits + len(pending)
     progress.update(report.done, report.total, report.cache_hits,
-                    report.executed)
+                    report.executed, report.worker_failures)
 
     if jobs <= 1:
         _execute_inline(pending, worker, use_cache, retries, report,
-                        progress)
+                        progress, log)
     else:
         _execute_pool(pending, worker, use_cache, jobs, timeout_s, retries,
-                      report, progress)
+                      report, progress, log)
 
     report.elapsed_s = time.monotonic() - started
     progress.update(report.done, report.total, report.cache_hits,
-                    report.executed)
+                    report.executed, report.worker_failures)
     progress.finish()
+    if log is not None:
+        log.summary(report)
     if report.failed:
         raise ExecutionError(
             f"{len(report.failed)} run(s) failed after {retries} "
@@ -169,29 +199,38 @@ def execute(
 
 
 def _execute_inline(pending, worker, use_cache, retries, report,
-                    progress) -> None:
+                    progress, log) -> None:
+    pid = os.getpid()
     for key, spec in pending:
         last_error: Optional[BaseException] = None
         for attempt in range(retries + 1):
             if attempt:
                 report.retried += 1
+            attempt_start = time.monotonic()
             try:
                 payload = worker(spec, use_cache)
             except Exception as error:  # worker bugs must not kill the batch
                 last_error = error
+                report.worker_failures += 1
+                if log is not None:
+                    log.failure(key, spec.describe(), repr(error), attempt,
+                                will_retry=attempt < retries)
                 continue
             report.results[key] = RunMetrics.from_dict(payload)
             report.executed += 1
+            if log is not None:
+                log.run(key, spec.describe(),
+                        time.monotonic() - attempt_start, pid, attempt)
             last_error = None
             break
         if last_error is not None:
             report.failed.append(f"{spec.describe()}: {last_error!r}")
         progress.update(report.done, report.total, report.cache_hits,
-                        report.executed)
+                        report.executed, report.worker_failures)
 
 
 def _execute_pool(pending, worker, use_cache, jobs, timeout_s, retries,
-                  report, progress) -> None:
+                  report, progress, log) -> None:
     attempts = {key: 0 for key, _ in pending}
     queue = list(pending)
     while queue:
@@ -199,11 +238,12 @@ def _execute_pool(pending, worker, use_cache, jobs, timeout_s, retries,
         pool_dead = False
         executor = ProcessPoolExecutor(max_workers=min(jobs, len(queue)))
         try:
-            futures = [(executor.submit(worker, spec, use_cache), key, spec)
+            futures = [(executor.submit(_timed_worker, worker, spec,
+                                        use_cache), key, spec)
                        for key, spec in queue]
             for future, key, spec in futures:
                 try:
-                    payload = future.result(timeout=timeout_s)
+                    timed = future.result(timeout=timeout_s)
                 except FutureTimeout:
                     # The worker may still be running; this pool's slots
                     # are no longer trustworthy, so rebuild it for the
@@ -212,28 +252,37 @@ def _execute_pool(pending, worker, use_cache, jobs, timeout_s, retries,
                     pool_dead = True
                     future.cancel()
                     _record_failure(key, spec, "timed out", attempts,
-                                    retries, retry_queue, report)
+                                    retries, retry_queue, report, log)
                 except BrokenProcessPool:
                     pool_dead = True
                     _record_failure(key, spec, "worker crashed", attempts,
-                                    retries, retry_queue, report)
+                                    retries, retry_queue, report, log)
                 except Exception as error:
                     _record_failure(key, spec, repr(error), attempts,
-                                    retries, retry_queue, report)
+                                    retries, retry_queue, report, log)
                 else:
-                    report.results[key] = RunMetrics.from_dict(payload)
+                    report.results[key] = RunMetrics.from_dict(
+                        timed["payload"])
                     report.executed += 1
+                    if log is not None:
+                        log.run(key, spec.describe(), timed["wall_s"],
+                                timed["worker"], attempts[key])
                 progress.update(report.done, report.total,
-                                report.cache_hits, report.executed)
+                                report.cache_hits, report.executed,
+                                report.worker_failures)
         finally:
             executor.shutdown(wait=not pool_dead, cancel_futures=True)
         queue = retry_queue
 
 
 def _record_failure(key, spec, reason, attempts, retries, retry_queue,
-                    report) -> None:
+                    report, log) -> None:
+    report.worker_failures += 1
+    will_retry = attempts[key] < retries
+    if log is not None:
+        log.failure(key, spec.describe(), reason, attempts[key], will_retry)
     attempts[key] += 1
-    if attempts[key] > retries:
+    if not will_retry:
         report.failed.append(f"{spec.describe()}: {reason}")
     else:
         report.retried += 1

@@ -31,7 +31,7 @@ class NullProgress:
     """Silent sink with the progress interface."""
 
     def update(self, done: int, total: int, cache_hits: int,
-               executed: int) -> None:
+               executed: int, failures: int = 0) -> None:
         pass
 
     def finish(self) -> None:
@@ -56,7 +56,7 @@ class ProgressLine(NullProgress):
         self._width = 0
 
     def update(self, done: int, total: int, cache_hits: int,
-               executed: int) -> None:
+               executed: int, failures: int = 0) -> None:
         if not self.enabled:
             return
         now = time.monotonic()
@@ -64,10 +64,10 @@ class ProgressLine(NullProgress):
         # Always render the final update so the line ends accurate.
         if done < total and now - self._last_render < self.min_interval_s:
             return
-        self._render(done, total, cache_hits, executed, now)
+        self._render(done, total, cache_hits, executed, failures, now)
 
     def _render(self, done: int, total: int, cache_hits: int,
-                executed: int, now: float) -> None:
+                executed: int, failures: int, now: float) -> None:
         elapsed = now - self._started
         rate = executed / elapsed if elapsed > 0 else 0.0
         remaining = total - done
@@ -75,6 +75,8 @@ class ProgressLine(NullProgress):
         width = len(str(total))
         line = (f"exec [{done:>{width}}/{total}] hits={cache_hits} "
                 f"ran={executed} {rate:.1f} runs/s eta={eta}")
+        if failures:
+            line += f" failures={failures}"
         pad = max(0, self._width - len(line))
         self.stream.write("\r" + line + " " * pad)
         self.stream.flush()

@@ -1,0 +1,34 @@
+"""Unified observability: statistics tree, event tracing, run capture.
+
+Three pieces, built on :mod:`repro.common.statistics`:
+
+* :mod:`repro.obs.stats` — composes every component's ``stats_group()``
+  into one nested tree and renders it (``repro stats``);
+* :mod:`repro.obs.tracer` — the ring-buffered event tracer with
+  Chrome-trace/Perfetto and plain-text exports (``repro events``);
+* :mod:`repro.obs.capture` — traced, uncached simulation runs.
+
+Executor telemetry (structured JSON-lines run logs) lives next to the
+worker pool in :mod:`repro.exec.telemetry`.
+"""
+
+from .capture import trace_workload
+from .stats import build_stats_tree, render_stats
+from .tracer import (
+    EXEC_TID,
+    MIGRATION_TID,
+    TRANSLATION_TID,
+    EventTracer,
+    TraceEvent,
+)
+
+__all__ = [
+    "EventTracer",
+    "TraceEvent",
+    "TRANSLATION_TID",
+    "MIGRATION_TID",
+    "EXEC_TID",
+    "build_stats_tree",
+    "render_stats",
+    "trace_workload",
+]

@@ -1,0 +1,44 @@
+"""Assembly and rendering of the full run-statistics tree.
+
+One simulation exports one nested :class:`StatGroup` tree::
+
+    [run]
+      [core0] ...            (one group per core: work, stalls, IPC)
+      [caches] [l1] [l2] [llc]
+      [controller]           (memory-system counters)
+        [banks]              (aggregate bank activity)
+        [manager]            (design-specific: translation / migration /
+                              promotion children for DAS)
+
+The tree is flattened with ``StatGroup.as_dict()`` into the JSON-cached
+``RunMetrics.stats`` field, so cached runs recall their full statistics;
+``render_stats`` turns that dictionary back into the human report.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..common.statistics import StatGroup
+
+
+def build_stats_tree(cores, hierarchy, memory) -> StatGroup:
+    """Compose the per-component statistic groups into one tree.
+
+    ``cores`` is the simulator's core list; ``hierarchy`` the cache
+    hierarchy; ``memory`` the memory system.  Each contributes through
+    its own ``stats_group()`` export.
+    """
+    root = StatGroup("run")
+    for core in cores:
+        root.adopt(core.stats_group())
+    root.adopt(hierarchy.stats_group())
+    root.adopt(memory.stats_group())
+    return root
+
+
+def render_stats(stats: Mapping[str, object], name: str = "run") -> str:
+    """Render a cached ``RunMetrics.stats`` dictionary as a text report."""
+    if not stats:
+        return f"[{name}]\n  (no statistics recorded)"
+    return StatGroup.from_dict(name, stats).report()

@@ -45,6 +45,10 @@ class RunMetrics:
     #: Design-specific extras (e.g. inclusive clean-fill counts,
     #: dropped-promotion counts).
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Full nested statistics tree (``StatGroup.as_dict()`` of the run
+    #: root), recalled from the cache like every other field.  Render it
+    #: with :func:`repro.obs.render_stats`.
+    stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_time_ns(self) -> float:

@@ -25,7 +25,7 @@ from .metrics import RunMetrics
 from .system import profile_row_heat, simulate
 
 #: Bump to invalidate every cached result after a model change.
-CODE_VERSION = 8
+CODE_VERSION = 9
 
 #: Default trace lengths (memory references per core).
 DEFAULT_SINGLE_REFS = 300_000
@@ -157,6 +157,40 @@ def run_cache_key(
             f"{config.cache_key()}")
 
 
+def fresh_run(
+    workload: str,
+    config: SystemConfig,
+    references: int,
+    seed: int = 1,
+    tracer=None,
+) -> RunMetrics:
+    """Simulate one run from scratch (no cache involvement).
+
+    Performs the oracle profiling pass the static designs need, builds
+    fresh trace iterators and simulates.  ``tracer`` is forwarded to
+    :func:`repro.sim.system.simulate` for event capture.
+    """
+    row_heat: Optional[Dict[int, int]] = None
+    if config.design in PROFILED_DESIGNS:
+        # The profile observes the whole program lifetime (all episodes)
+        # of a *different execution* of the program: allocation layout and
+        # phase interleaving differ between the profiling run and the
+        # measured run, as they would for any ahead-of-time profile.  This
+        # is what separates static (lifetime-hot) from dynamic (phase-hot)
+        # capture in the paper.
+        profile_refs = references * 2
+        profile_seed = derive_seed(seed, "profile-run")
+        row_heat = profile_row_heat(
+            config,
+            _workload_traces(workload, config, profile_seed,
+                             mode="lifetime"),
+            profile_refs)
+    traces = _workload_traces(workload, config, seed)
+    return simulate(config, traces, references,
+                    workload_name=workload, row_heat=row_heat,
+                    tracer=tracer)
+
+
 def run_workload(
     workload: str,
     design: str = "das",
@@ -180,24 +214,7 @@ def run_workload(
         cached = _load_cached(key)
         if cached is not None:
             return cached
-    row_heat: Optional[Dict[int, int]] = None
-    if design in PROFILED_DESIGNS:
-        # The profile observes the whole program lifetime (all episodes)
-        # of a *different execution* of the program: allocation layout and
-        # phase interleaving differ between the profiling run and the
-        # measured run, as they would for any ahead-of-time profile.  This
-        # is what separates static (lifetime-hot) from dynamic (phase-hot)
-        # capture in the paper.
-        profile_refs = references * 2
-        profile_seed = derive_seed(seed, "profile-run")
-        row_heat = profile_row_heat(
-            config,
-            _workload_traces(workload, config, profile_seed,
-                             mode="lifetime"),
-            profile_refs)
-    traces = _workload_traces(workload, config, seed)
-    metrics = simulate(config, traces, references,
-                       workload_name=workload, row_heat=row_heat)
+    metrics = fresh_run(workload, config, references, seed)
     if use_cache:
         _store_cached(key, metrics)
     return metrics

@@ -17,6 +17,7 @@ from ..core.manager import DASManager, StaticAsymmetricManager
 from ..core.variants import build_memory_system
 from ..cpu.multicore import MultiCoreSimulator
 from ..dram.address import AddressMapping
+from ..obs.stats import build_stats_tree
 from ..trace.record import AccessTuple
 from .metrics import RunMetrics
 
@@ -56,8 +57,14 @@ def simulate(
     workload_name: str = "workload",
     row_heat: Optional[Mapping[int, int]] = None,
     warmup_fraction: float = 0.2,
+    tracer=None,
 ) -> RunMetrics:
-    """Build and run one system; return its measured metrics."""
+    """Build and run one system; return its measured metrics.
+
+    ``tracer`` (an :class:`repro.obs.EventTracer`) is attached to the
+    memory system, its management policy and every core; leaving it None
+    keeps every emission site on its zero-cost guard path.
+    """
     if len(traces) != config.num_cores:
         raise ValueError(
             f"config expects {config.num_cores} cores, got {len(traces)} traces")
@@ -66,6 +73,11 @@ def simulate(
     simulator = MultiCoreSimulator(
         config.core, traces, hierarchy, memory, max_references,
         warmup_fraction=warmup_fraction)
+    if tracer is not None:
+        memory.tracer = tracer
+        memory.manager.tracer = tracer
+        for core in simulator.cores:
+            core.tracer = tracer
     simulator.run()
     return collect_metrics(workload_name, config, simulator, hierarchy, memory)
 
@@ -119,5 +131,6 @@ def collect_metrics(
         translation_cache_hit_rate=tc_hit_rate,
         energy_nj=energy,
         extra=extra,
+        stats=build_stats_tree(simulator.cores, hierarchy, memory).as_dict(),
     )
     return metrics

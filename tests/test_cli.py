@@ -37,6 +37,56 @@ class TestTraceReplay:
         assert "mpki" in out
 
 
+class TestStats:
+    def test_prints_nested_tree(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["stats", "libquantum", "--design", "das",
+                     "--refs", "2500"]) == 0
+        out = capsys.readouterr().out
+        for section in ("[run]", "[core0]", "[caches]", "[controller]",
+                        "[banks]", "[manager]", "[translation]",
+                        "[migration]"):
+            assert section in out
+
+    def test_recalls_stats_from_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["stats", "libquantum", "--refs", "2500"]) == 0
+        capsys.readouterr()
+        # Second invocation is pure cache recall; the tree must survive.
+        assert main(["stats", "libquantum", "--refs", "2500"]) == 0
+        assert "[translation]" in capsys.readouterr().out
+
+
+class TestEvents:
+    def test_writes_chrome_trace(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        out_path = tmp_path / "trace.json"
+        assert main(["events", "libquantum", "--refs", "2500",
+                     "--out", str(out_path), "--timeline", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "events retained" in out
+        doc = json.loads(out_path.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "M" in phases          # lane metadata present
+        assert phases & {"X", "i"}    # and actual events
+
+
+class TestRunLogJson:
+    def test_log_json_writes_summary(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        log_path = tmp_path / "run.jsonl"
+        assert main(["run", "fig7b", "--refs", "1200",
+                     "--log-json", str(log_path)]) == 0
+        events = [json.loads(line) for line in log_path.read_text().splitlines()]
+        assert events[-1]["event"] == "summary"
+        assert events[-1]["executed"] + events[-1]["cache_hits"] > 0
+        assert any(e["event"] == "run" for e in events)
+
+
 class TestBench:
     def test_bench_small_run(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

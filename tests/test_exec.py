@@ -11,6 +11,7 @@ import pytest
 from repro.exec import (
     ExecutionError,
     JobGraph,
+    JsonlLog,
     RunSpec,
     execute,
     plan_experiments,
@@ -182,6 +183,97 @@ class TestRetry:
         report = excinfo.value.report
         assert report.failed and report.executed == 0
         assert "libquantum" in report.failed[0]
+        assert report.worker_failures == 2  # initial attempt + 1 retry
+
+
+def _read_jsonl(path):
+    with open(path) as stream:
+        return [json.loads(line) for line in stream]
+
+
+class TestTelemetryLog:
+    def test_run_events_carry_timing_and_worker(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        spec = RunSpec("libquantum", "standard", REFS)
+        with JsonlLog(str(path)) as log:
+            execute([spec], jobs=1, log=log)
+        events = _read_jsonl(path)
+        assert [e["event"] for e in events] == ["run", "summary"]
+        run = events[0]
+        assert run["spec"] == spec.describe()
+        assert run["key"] == spec.cache_key()
+        assert run["wall_s"] >= 0.0
+        assert run["worker"] == os.getpid()
+        assert run["attempt"] == 0
+
+    def test_pool_run_attributes_worker_process(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        spec = RunSpec("libquantum", "standard", REFS)
+        with JsonlLog(str(path)) as log:
+            execute([spec], jobs=2, log=log)
+        run = next(e for e in _read_jsonl(path) if e["event"] == "run")
+        assert run["worker"] != os.getpid()  # ran in a pool process
+        assert run["wall_s"] > 0.0
+
+    def test_cache_hits_logged(self, tmp_path):
+        spec = RunSpec("libquantum", "standard", REFS)
+        execute([spec], jobs=1)  # warm the cache, unlogged
+        path = tmp_path / "warm.jsonl"
+        with JsonlLog(str(path)) as log:
+            execute([spec], jobs=1, log=log)
+        events = _read_jsonl(path)
+        assert [e["event"] for e in events] == ["cache_hit", "summary"]
+        assert events[1]["cache_hits"] == 1
+        assert events[1]["executed"] == 0
+
+    def test_failures_logged_with_retry_flag(self, tmp_path):
+        path = tmp_path / "fail.jsonl"
+        spec = RunSpec("libquantum", "standard", REFS)
+        with JsonlLog(str(path)) as log:
+            with pytest.raises(ExecutionError):
+                execute([spec], jobs=1, retries=1,
+                        worker=_always_fail_worker, log=log)
+        events = _read_jsonl(path)
+        failures = [e for e in events if e["event"] == "failure"]
+        assert [f["will_retry"] for f in failures] == [True, False]
+        summary = events[-1]
+        assert summary["event"] == "summary"
+        assert summary["worker_failures"] == 2
+        assert summary["failed"]
+
+    def test_every_line_is_json_with_timestamp(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlLog(str(path)) as log:
+            execute([RunSpec("libquantum", "standard", REFS)], jobs=1,
+                    log=log)
+        for event in _read_jsonl(path):  # json.loads above validates each
+            assert event["t"] > 0
+
+    def test_rejects_both_path_and_stream(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlLog()
+
+
+class TestProgressFailures:
+    def test_progress_line_shows_failures(self):
+        import io
+
+        from repro.exec import ProgressLine
+
+        stream = io.StringIO()
+        line = ProgressLine(stream=stream, enabled=True, min_interval_s=0.0)
+        line.update(3, 10, cache_hits=2, executed=1, failures=4)
+        assert "failures=4" in stream.getvalue()
+
+    def test_progress_line_omits_zero_failures(self):
+        import io
+
+        from repro.exec import ProgressLine
+
+        stream = io.StringIO()
+        line = ProgressLine(stream=stream, enabled=True, min_interval_s=0.0)
+        line.update(3, 10, cache_hits=2, executed=1, failures=0)
+        assert "failures" not in stream.getvalue()
 
 
 class TestSweepRouting:

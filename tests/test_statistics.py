@@ -74,6 +74,14 @@ class TestAccumulator:
             acc.add(sample)
         assert acc.min - 1e-9 <= acc.mean <= acc.max + 1e-9
 
+    def test_reset(self):
+        acc = Accumulator()
+        acc.add(4.0)
+        acc.reset()
+        assert acc.count == 0
+        assert acc.mean == 0.0
+        assert acc.as_dict() == Accumulator().as_dict()
+
 
 class TestHistogram:
     def test_bucket_placement(self):
@@ -104,6 +112,40 @@ class TestHistogram:
     def test_rejects_bad_geometry(self):
         with pytest.raises(ValueError):
             Histogram(0.0, 4)
+
+    def test_overflow_percentile_is_finite(self):
+        # A tail percentile landing in the overflow bucket must clamp to
+        # the largest observed sample, not report infinity.
+        h = Histogram(1.0, 4)
+        h.add(0.5)
+        h.add(1000.0)
+        p99 = h.percentile(0.99)
+        assert math.isfinite(p99)
+        assert p99 == pytest.approx(1000.0)
+
+    def test_tracks_max_sample(self):
+        h = Histogram(1.0, 4)
+        for value in (2.0, 7.5, 3.0):
+            h.add(value)
+        assert h.max_sample == 7.5
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=1),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_percentile_always_finite(self, samples, fraction):
+        h = Histogram(5.0, 8)
+        for sample in samples:
+            h.add(sample)
+        assert math.isfinite(h.percentile(fraction))
+
+    def test_reset(self):
+        h = Histogram(1.0, 4)
+        h.add(2.5)
+        h.add(99.0)
+        h.reset()
+        assert h.count == 0
+        assert h.overflow == 0
+        assert h.buckets == [0, 0, 0, 0]
+        assert h.max_sample == 0.0
 
 
 class TestGeometricMean:
@@ -170,3 +212,61 @@ class TestStatGroup:
         text = group.report()
         assert "[ctrl]" in text
         assert "reads: 7" in text
+
+    def test_adopt_keeps_identity(self):
+        parent = StatGroup("parent")
+        owned = StatGroup("engine")
+        hits = owned.counter("hits")
+        assert parent.adopt(owned) is owned
+        assert parent.child("engine") is owned
+        hits.add(3)
+        assert parent.as_dict()["engine"]["hits"] == 3
+
+    def test_reset_recurses_through_adopted_children(self):
+        parent = StatGroup("parent")
+        parent.counter("top").add(1)
+        parent.accumulator("lat").add(5.0)
+        parent.set_scalar("rate", 0.5)
+        owned = StatGroup("engine")
+        owned.counter("hits").add(9)
+        parent.adopt(owned)
+        parent.child("inner").counter("x").add(2)
+        parent.reset()
+        assert parent.counter("top").value == 0
+        assert parent.accumulator("lat").count == 0
+        assert owned.counter("hits").value == 0
+        assert parent.child("inner").counter("x").value == 0
+        assert "rate" not in parent.as_dict()
+
+    def test_reset_preserves_counter_references(self):
+        group = StatGroup("g")
+        hits = group.counter("hits")
+        hits.add(4)
+        group.reset()
+        hits.add(1)  # cached hot-path reference still feeds the group
+        assert group.counter("hits").value == 1
+
+    def test_from_dict_round_trip(self):
+        group = StatGroup("run")
+        group.counter("reads").add(12)
+        group.set_scalar("hit_rate", 0.75)
+        acc = group.accumulator("latency")
+        for sample in (10.0, 20.0, 30.0):
+            acc.add(sample)
+        group.child("bank").counter("activations").add(5)
+        rebuilt = StatGroup.from_dict("run", group.as_dict())
+        assert rebuilt.as_dict() == group.as_dict()
+        assert rebuilt.report() == group.report()
+
+    def test_from_dict_restores_accumulator_summary(self):
+        group = StatGroup("g")
+        acc = group.accumulator("lat")
+        for sample in (2.0, 4.0, 9.0):
+            acc.add(sample)
+        rebuilt = StatGroup.from_dict("g", group.as_dict())
+        restored = rebuilt.accumulator("lat")
+        assert restored.count == 3
+        assert restored.mean == pytest.approx(5.0)
+        assert restored.min == 2.0
+        assert restored.max == 9.0
+        assert restored.stdev == pytest.approx(acc.stdev)
