@@ -4,6 +4,10 @@ Measures the end-to-end plan/execute pipeline the CLI's ``--jobs`` path
 uses, serial vs two workers, on the representative subset.  The
 cache-disabled fixture in conftest guarantees both variants measure real
 simulation work rather than recall.
+
+Also measures the timeline sampler's overhead: ``timeline=False`` is the
+zero-overhead baseline (the ``sampler is None`` guard in the main loop),
+``timeline=True`` adds the windowed snapshot work the default run pays.
 """
 
 from __future__ import annotations
@@ -11,6 +15,7 @@ from __future__ import annotations
 from conftest import BENCH_SUBSET, SINGLE_REFS, run_once
 
 from repro.exec import execute, plan_experiments
+from repro.sim.runner import run_workload
 
 
 def _plan():
@@ -36,3 +41,23 @@ def test_exec_parallel_two_workers(benchmark):
     graph = _plan()
     report = run_once(benchmark, execute, graph.specs, jobs=2)
     assert report.executed == len(graph)
+
+
+def test_run_timeline_off(benchmark):
+    """Baseline single run with timeline sampling disabled."""
+    metrics = run_once(benchmark, run_workload, "libquantum", "das",
+                       references=SINGLE_REFS, use_cache=False,
+                       timeline=False)
+    assert not metrics.timeline
+
+
+def test_run_timeline_on(benchmark):
+    """Same run with the default timeline sampling enabled.
+
+    The delta versus :func:`test_run_timeline_off` is the sampling cost;
+    it must stay in the noise (one counter read per ~references/24).
+    """
+    metrics = run_once(benchmark, run_workload, "libquantum", "das",
+                       references=SINGLE_REFS, use_cache=False,
+                       timeline=True)
+    assert metrics.timeline["num_windows"] > 0

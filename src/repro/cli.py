@@ -8,6 +8,9 @@ Examples::
     repro run all --jobs 8         # regenerate everything in parallel
     repro bench mcf --design das   # one ad-hoc workload run
     repro stats mcf --design das   # full nested statistics report
+    repro stats mcf --timeline     # phase-resolved timeline sparklines
+    repro compare mcf:das mcf:standard   # ranked cross-run stat deltas
+    repro perf check               # verify BENCH_*.json perf baselines
     repro events mcf --out t.json  # capture a Perfetto-loadable trace
 """
 
@@ -82,6 +85,16 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--design", default="das", choices=DESIGNS)
     bench.add_argument("--refs", type=int, default=None)
     bench.add_argument("--no-cache", action="store_true")
+    bench.add_argument("--profile", metavar="PATH", default=None,
+                       help="profile the run under cProfile and write "
+                            "pstats output to PATH (combine with "
+                            "--no-cache to profile real simulation work)")
+    bench.add_argument("--profile-top", type=int, default=10, metavar="N",
+                       help="hot functions to report from --profile "
+                            "(default: 10)")
+    bench.add_argument("--log-json", metavar="PATH", default=None,
+                       help="append bench telemetry (and --profile hot "
+                            "functions) as JSON lines to PATH")
 
     stats = sub.add_parser(
         "stats", help="print a run's full nested statistics tree")
@@ -91,6 +104,59 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--refs", type=int, default=None)
     stats.add_argument("--seed", type=int, default=1)
     stats.add_argument("--no-cache", action="store_true")
+    stats.add_argument("--timeline", action="store_true",
+                       help="also render the phase-resolved timeline "
+                            "(per-window IPC, hit rates, promotions) as "
+                            "sparklines")
+    stats.add_argument("--timeline-csv", metavar="PATH", default=None,
+                       help="export the timeline windows as CSV")
+    stats.add_argument("--timeline-json", metavar="PATH", default=None,
+                       help="export the timeline series as JSON")
+
+    compare = sub.add_parser(
+        "compare",
+        help="diff two cached runs' stats trees and timelines")
+    compare.add_argument("run_a", metavar="A",
+                         help="first run as workload[:design], "
+                              "e.g. mcf:das (design defaults to das)")
+    compare.add_argument("run_b", metavar="B",
+                         help="second run as workload[:design]")
+    compare.add_argument("--refs", type=int, default=None)
+    compare.add_argument("--seed", type=int, default=1)
+    compare.add_argument("--threshold", type=float, default=1.0,
+                         metavar="PCT",
+                         help="minimum |relative delta| percent to "
+                              "report (default: 1.0)")
+    compare.add_argument("--limit", type=int, default=30,
+                         help="maximum ranked deltas to print "
+                              "(default: 30)")
+    compare.add_argument("--no-cache", action="store_true")
+
+    perf = sub.add_parser(
+        "perf", help="record / check perf-regression baselines")
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    perf_sub.add_parser("list", help="list perf scenarios")
+    record = perf_sub.add_parser(
+        "record", help="run scenarios and write BENCH_<name>.json")
+    record.add_argument("names", nargs="*",
+                        help="scenario names (default: all)")
+    record.add_argument("--dir", default="benchmarks/baselines",
+                        help="baseline directory "
+                             "(default: benchmarks/baselines)")
+    check = perf_sub.add_parser(
+        "check", help="re-run scenarios and verify against baselines")
+    check.add_argument("names", nargs="*",
+                       help="scenario names (default: all)")
+    check.add_argument("--dir", default="benchmarks/baselines",
+                       help="baseline directory "
+                            "(default: benchmarks/baselines)")
+    check.add_argument("--wall-tolerance", type=float, default=None,
+                       metavar="FRAC",
+                       help="override the baselines' relative wall-time "
+                            "tolerance (e.g. 0.2 for ±20%%)")
+    check.add_argument("--skip-wall", action="store_true",
+                       help="verify only the deterministic counters "
+                            "(machine-independent)")
 
     events = sub.add_parser(
         "events", help="re-simulate with event tracing; export the trace")
@@ -226,35 +292,185 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _trace_command(args)
     if args.command == "stats":
         return _stats_command(args)
+    if args.command == "compare":
+        return _compare_command(args)
+    if args.command == "perf":
+        return _perf_command(args)
     if args.command == "events":
         return _events_command(args)
     if args.command == "bench":
-        metrics = run_workload(args.workload, args.design,
-                               references=args.refs,
-                               use_cache=not args.no_cache)
-        print(f"workload={metrics.workload} design={metrics.design}")
-        print(f"  time_ns={metrics.time_ns}")
-        print(f"  ipc={[round(x, 3) for x in metrics.ipc]}")
-        print(f"  mpki={metrics.mpki:.2f} ppkm={metrics.ppkm:.1f}")
-        print(f"  footprint={metrics.footprint_bytes / 1e6:.1f} MB")
-        locations = {k: round(v, 4)
-                     for k, v in metrics.access_locations.items()}
-        print(f"  access_locations={locations}")
-        print(f"  mean_read_latency={metrics.mean_read_latency_ns:.1f} ns")
-        return 0
+        return _bench_command(args)
     raise AssertionError("unreachable")
+
+
+def _bench_command(args) -> int:
+    """Handle ``repro bench``: one ad-hoc run, optionally profiled."""
+    profile = None
+    if args.profile is not None:
+        import cProfile
+
+        profile = cProfile.Profile()
+        profile.enable()
+    metrics = run_workload(args.workload, args.design,
+                           references=args.refs,
+                           use_cache=not args.no_cache)
+    if profile is not None:
+        profile.disable()
+    print(f"workload={metrics.workload} design={metrics.design}")
+    print(f"  time_ns={metrics.time_ns}")
+    print(f"  ipc={[round(x, 3) for x in metrics.ipc]}")
+    print(f"  mpki={metrics.mpki:.2f} ppkm={metrics.ppkm:.1f}")
+    print(f"  footprint={metrics.footprint_bytes / 1e6:.1f} MB")
+    locations = {k: round(v, 4)
+                 for k, v in metrics.access_locations.items()}
+    print(f"  access_locations={locations}")
+    print(f"  mean_read_latency={metrics.mean_read_latency_ns:.1f} ns")
+    top = []
+    if profile is not None:
+        profile.dump_stats(args.profile)
+        top = _hot_functions(profile, args.profile_top)
+        print(f"profile -> {args.profile} "
+              f"(top {len(top)} by cumulative time)")
+        for entry in top:
+            print(f"  {entry['cum_s']:8.4f}s cum  {entry['tot_s']:8.4f}s "
+                  f"self  {entry['calls']:>9} calls  {entry['func']}")
+    if args.log_json is not None:
+        from .exec import JsonlLog
+
+        with JsonlLog(args.log_json) as log:
+            log.event("bench", workload=metrics.workload,
+                      design=metrics.design,
+                      references=metrics.references,
+                      mpki=round(metrics.mpki, 4),
+                      mean_read_latency_ns=round(
+                          metrics.mean_read_latency_ns, 3))
+            if profile is not None:
+                log.profile(f"bench:{metrics.workload}:{metrics.design}",
+                            args.profile, top)
+    return 0
+
+
+def _hot_functions(profile, top_n: int):
+    """Top-N hot functions of a cProfile run, by cumulative time."""
+    import pstats
+
+    stats = pstats.Stats(profile)
+    entries = []
+    for (filename, line, name), (_cc, ncalls, tottime, cumtime, _callers) \
+            in stats.stats.items():  # type: ignore[attr-defined]
+        entries.append({
+            "func": f"{filename}:{line}:{name}",
+            "calls": ncalls,
+            "tot_s": round(tottime, 4),
+            "cum_s": round(cumtime, 4),
+        })
+    entries.sort(key=lambda e: e["cum_s"], reverse=True)
+    return entries[:top_n]
 
 
 def _stats_command(args) -> int:
     """Handle ``repro stats``: run (or recall) and print the full tree."""
-    from .obs import render_stats
+    from .obs import render_stats, render_timeline, timeline_to_csv
 
     metrics = run_workload(args.workload, args.design,
                            references=args.refs, seed=args.seed,
                            use_cache=not args.no_cache)
     print(f"workload={metrics.workload} design={metrics.design} "
           f"references={metrics.references}")
+    if not metrics.stats:
+        print("no statistics in this cached result -- it predates "
+              "CODE_VERSION 9; re-run with --no-cache (or clear the "
+              "cache entry) to populate the stats tree.")
+        return 1
     print(render_stats(metrics.stats))
+    wants_timeline = (args.timeline or args.timeline_csv
+                      or args.timeline_json)
+    if not wants_timeline:
+        return 0
+    if not metrics.timeline:
+        print("no timeline in this cached result -- it predates "
+              "CODE_VERSION 10 (or sampling was disabled); re-run with "
+              "--no-cache to sample one.")
+        return 1
+    if args.timeline:
+        print()
+        print(render_timeline(metrics.timeline))
+    if args.timeline_csv is not None:
+        with open(args.timeline_csv, "w") as stream:
+            stream.write(timeline_to_csv(metrics.timeline))
+        print(f"timeline windows -> {args.timeline_csv}")
+    if args.timeline_json is not None:
+        import json
+
+        with open(args.timeline_json, "w") as stream:
+            json.dump(metrics.timeline, stream, indent=2)
+        print(f"timeline series -> {args.timeline_json}")
+    return 0
+
+
+def _parse_run_spec(spec: str):
+    """Split ``workload[:design]`` (design defaults to das)."""
+    workload, _, design = spec.partition(":")
+    return workload, (design or "das")
+
+
+def _compare_command(args) -> int:
+    """Handle ``repro compare``: ranked cross-run stat/timeline deltas."""
+    from .obs import compare_runs
+
+    workload_a, design_a = _parse_run_spec(args.run_a)
+    workload_b, design_b = _parse_run_spec(args.run_b)
+    for design in (design_a, design_b):
+        if design not in DESIGNS:
+            print(f"unknown design {design!r} (choose from "
+                  f"{', '.join(DESIGNS)})", file=sys.stderr)
+            return 2
+    try:
+        metrics_a = run_workload(workload_a, design_a,
+                                 references=args.refs, seed=args.seed,
+                                 use_cache=not args.no_cache)
+        metrics_b = run_workload(workload_b, design_b,
+                                 references=args.refs, seed=args.seed,
+                                 use_cache=not args.no_cache)
+    except KeyError as error:
+        print(str(error.args[0]), file=sys.stderr)
+        return 2
+    print(compare_runs(metrics_a, metrics_b,
+                       label_a=f"{workload_a}:{design_a}",
+                       label_b=f"{workload_b}:{design_b}",
+                       threshold_percent=args.threshold,
+                       limit=args.limit))
+    return 0
+
+
+def _perf_command(args) -> int:
+    """Handle ``repro perf list|record|check``."""
+    from .obs import perf
+
+    if args.perf_command == "list":
+        width = max(len(name) for name in perf.SCENARIOS)
+        for name, scenario in perf.SCENARIOS.items():
+            print(f"{name.ljust(width)}  {scenario.description}")
+        return 0
+    try:
+        if args.perf_command == "record":
+            written = perf.record(args.names or None, directory=args.dir)
+            for path in written:
+                print(f"recorded {path}")
+            return 0
+        if args.perf_command == "check":
+            findings = perf.check(args.names or None, directory=args.dir,
+                                  wall_tolerance=args.wall_tolerance,
+                                  check_wall=not args.skip_wall)
+    except KeyError as error:
+        print(str(error.args[0]), file=sys.stderr)
+        return 2
+    if findings:
+        print(f"{len(findings)} perf finding(s):", file=sys.stderr)
+        for finding in findings:
+            print(f"  {finding}", file=sys.stderr)
+        return 1
+    print("all perf baselines hold")
     return 0
 
 
@@ -262,6 +478,8 @@ def _events_command(args) -> int:
     """Handle ``repro events``: traced re-simulation + trace export."""
     from .obs import trace_workload
 
+    print("note: event tracing bypasses the result cache -- this run is "
+          "re-simulated (its metrics match the cached run).")
     metrics, tracer = trace_workload(
         args.workload, design=args.design, references=args.refs,
         seed=args.seed, capacity=args.capacity)

@@ -29,6 +29,7 @@ class MultiCoreSimulator:
         max_references: int,
         warmup_fraction: float = 0.2,
         on_warmup_done: Optional[Callable[[], None]] = None,
+        sampler=None,
     ) -> None:
         if not traces:
             raise ValueError("need at least one trace")
@@ -42,6 +43,11 @@ class MultiCoreSimulator:
                  max_references, direct_resolve=direct)
             for index, trace in enumerate(traces)
         ]
+        #: Optional timeline sampler (repro.obs.timeline.TimelineSampler);
+        #: None keeps every sampling site on its zero-cost guard path.
+        self._sampler = sampler
+        if sampler is not None:
+            sampler.attach(self.cores, hierarchy, memory)
         self._warmup_refs = int(max_references * warmup_fraction)
         self._on_warmup_done = on_warmup_done
         self._warmup_done = self._warmup_refs == 0
@@ -52,6 +58,7 @@ class MultiCoreSimulator:
         """Run all cores to completion."""
         cores = self.cores
         memory = self.memory
+        sampler = self._sampler
         if len(cores) == 1:
             self._run_single(cores[0])
             return
@@ -68,15 +75,30 @@ class MultiCoreSimulator:
                 break
             t_safe = min(core.bound() for core in active)
             memory.drain(t_safe)
+            if sampler is not None:
+                sampler.maybe_sample()
         memory.flush()
+        if sampler is not None:
+            sampler.finish()
 
     def _run_single(self, core) -> None:
         """Single-core fast path: blocked loads resolve synchronously."""
         if not self._warmup_done:
             core.advance(until_references=self._warmup_refs)
             self._begin_measurement()
-        core.advance()
+        sampler = self._sampler
+        if sampler is None:
+            core.advance()
+        else:
+            # Chunked advance: pause at each sample boundary.  The pause
+            # only reads counters, so the schedule is identical to the
+            # unchunked run.
+            while not core.finished:
+                core.advance(until_references=sampler.next_boundary())
+                sampler.maybe_sample()
         self.memory.flush()
+        if sampler is not None:
+            sampler.finish()
 
     def _begin_measurement(self) -> None:
         """Reset statistics at the warmup boundary (paper: first 20% of the
@@ -86,6 +108,10 @@ class MultiCoreSimulator:
         self.memory.reset_stats()
         for core in self.cores:
             core.start_measurement()
+        if self._sampler is not None:
+            # Realign against the freshly reset counters so the first
+            # measurement window carries no warmup counts.
+            self._sampler.realign()
         if self._on_warmup_done is not None:
             self._on_warmup_done()
 

@@ -1,19 +1,37 @@
-"""Unified observability: statistics tree, event tracing, run capture.
+"""Unified observability: stats tree, timelines, tracing, comparison.
 
-Three pieces, built on :mod:`repro.common.statistics`:
+Built on :mod:`repro.common.statistics`:
 
 * :mod:`repro.obs.stats` — composes every component's ``stats_group()``
   into one nested tree and renders it (``repro stats``);
+* :mod:`repro.obs.timeline` — phase-resolved windowed counter series
+  sampled from the main loop (``repro stats --timeline``);
 * :mod:`repro.obs.tracer` — the ring-buffered event tracer with
   Chrome-trace/Perfetto and plain-text exports (``repro events``);
-* :mod:`repro.obs.capture` — traced, uncached simulation runs.
+* :mod:`repro.obs.capture` — traced, uncached simulation runs;
+* :mod:`repro.obs.compare` — recursive cross-run stats/timeline diffing
+  (``repro compare``);
+* :mod:`repro.obs.perf` — perf-regression baselines (``repro perf``).
 
 Executor telemetry (structured JSON-lines run logs) lives next to the
 worker pool in :mod:`repro.exec.telemetry`.
 """
 
 from .capture import trace_workload
+from .compare import (
+    compare_runs,
+    diff_stats,
+    flatten_stats,
+    render_stat_diff,
+    render_timeline_diff,
+)
 from .stats import build_stats_tree, render_stats
+from .timeline import (
+    TimelineSampler,
+    render_timeline,
+    sparkline,
+    timeline_to_csv,
+)
 from .tracer import (
     EXEC_TID,
     MIGRATION_TID,
@@ -28,7 +46,16 @@ __all__ = [
     "TRANSLATION_TID",
     "MIGRATION_TID",
     "EXEC_TID",
+    "TimelineSampler",
     "build_stats_tree",
+    "compare_runs",
+    "diff_stats",
+    "flatten_stats",
+    "render_stat_diff",
     "render_stats",
+    "render_timeline",
+    "render_timeline_diff",
+    "sparkline",
+    "timeline_to_csv",
     "trace_workload",
 ]

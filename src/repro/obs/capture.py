@@ -26,10 +26,17 @@ def trace_workload(
     Returns ``(RunMetrics, EventTracer)``.  Imports lazily to keep
     ``repro.obs`` importable from the simulator layers without cycles.
     """
-    from ..sim.runner import fresh_run, make_config, resolve_run_shape
+    from ..sim.runner import (
+        default_timeline_interval,
+        fresh_run,
+        make_config,
+        resolve_run_shape,
+    )
 
     num_cores, references = resolve_run_shape(workload, references)
     config = make_config(design, num_cores=num_cores, seed=seed)
     tracer = EventTracer(capacity)
-    metrics = fresh_run(workload, config, references, seed, tracer=tracer)
+    metrics = fresh_run(
+        workload, config, references, seed, tracer=tracer,
+        timeline_interval=default_timeline_interval(references, num_cores))
     return metrics, tracer

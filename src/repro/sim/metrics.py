@@ -49,6 +49,11 @@ class RunMetrics:
     #: root), recalled from the cache like every other field.  Render it
     #: with :func:`repro.obs.render_stats`.
     stats: Dict[str, object] = field(default_factory=dict)
+    #: Phase-resolved timeline: windowed counter deltas sampled every
+    #: ``interval_refs`` retired references over the measurement window
+    #: (see :mod:`repro.obs.timeline`).  ``{}`` when sampling was
+    #: disabled.  Render with :func:`repro.obs.render_timeline`.
+    timeline: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_time_ns(self) -> float:

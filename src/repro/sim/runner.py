@@ -25,11 +25,23 @@ from .metrics import RunMetrics
 from .system import profile_row_heat, simulate
 
 #: Bump to invalidate every cached result after a model change.
-CODE_VERSION = 9
+CODE_VERSION = 10
 
 #: Default trace lengths (memory references per core).
 DEFAULT_SINGLE_REFS = 300_000
 DEFAULT_MIX_REFS = 150_000
+
+#: Target number of timeline windows per run (see repro.obs.timeline).
+TIMELINE_WINDOWS = 24
+
+
+def default_timeline_interval(references: int, num_cores: int = 1) -> int:
+    """References-per-window giving ~:data:`TIMELINE_WINDOWS` windows.
+
+    The sampler counts references summed over cores, so mixes scale the
+    interval by the core count to keep the window count stable.
+    """
+    return max(1, (references * num_cores) // TIMELINE_WINDOWS)
 
 
 def cache_dir() -> Path:
@@ -163,12 +175,15 @@ def fresh_run(
     references: int,
     seed: int = 1,
     tracer=None,
+    timeline_interval: Optional[int] = None,
 ) -> RunMetrics:
     """Simulate one run from scratch (no cache involvement).
 
     Performs the oracle profiling pass the static designs need, builds
     fresh trace iterators and simulates.  ``tracer`` is forwarded to
-    :func:`repro.sim.system.simulate` for event capture.
+    :func:`repro.sim.system.simulate` for event capture;
+    ``timeline_interval`` (references per window) enables phase-resolved
+    timeline sampling.
     """
     row_heat: Optional[Dict[int, int]] = None
     if config.design in PROFILED_DESIGNS:
@@ -188,7 +203,7 @@ def fresh_run(
     traces = _workload_traces(workload, config, seed)
     return simulate(config, traces, references,
                     workload_name=workload, row_heat=row_heat,
-                    tracer=tracer)
+                    tracer=tracer, timeline_interval_refs=timeline_interval)
 
 
 def run_workload(
@@ -199,11 +214,18 @@ def run_workload(
     asym: Optional[AsymmetricConfig] = None,
     controller: Optional[ControllerConfig] = None,
     use_cache: bool = True,
+    timeline: bool = True,
 ) -> RunMetrics:
     """Run (or recall) one (workload, design) simulation.
 
     ``workload`` is either a SPEC benchmark name (single-programming) or a
     mix name ``M1``..``M8`` (multi-programming, four cores).
+
+    ``timeline`` samples the phase-resolved timeline (on by default so
+    cached results carry their series; the sampled schedule is identical
+    either way).  Pass False only to measure the sampling overhead
+    itself (see ``benchmarks/bench_exec.py``) — a result computed with
+    ``timeline=False`` stores an empty series under the same cache key.
     """
     num_cores, references = resolve_run_shape(workload, references)
     config = make_config(design, num_cores=num_cores, seed=seed, asym=asym,
@@ -214,7 +236,10 @@ def run_workload(
         cached = _load_cached(key)
         if cached is not None:
             return cached
-    metrics = fresh_run(workload, config, references, seed)
+    interval = (default_timeline_interval(references, num_cores)
+                if timeline else None)
+    metrics = fresh_run(workload, config, references, seed,
+                        timeline_interval=interval)
     if use_cache:
         _store_cached(key, metrics)
     return metrics
@@ -245,7 +270,9 @@ def run_trace_file(
     config = make_config(design, num_cores=1, seed=seed, asym=asym,
                          controller=controller)
     return simulate(config, [iter(records)], references,
-                    workload_name=f"trace:{path}")
+                    workload_name=f"trace:{path}",
+                    timeline_interval_refs=default_timeline_interval(
+                        references))
 
 
 def run_design_suite(

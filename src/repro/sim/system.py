@@ -18,6 +18,7 @@ from ..core.variants import build_memory_system
 from ..cpu.multicore import MultiCoreSimulator
 from ..dram.address import AddressMapping
 from ..obs.stats import build_stats_tree
+from ..obs.timeline import TimelineSampler
 from ..trace.record import AccessTuple
 from .metrics import RunMetrics
 
@@ -58,28 +59,36 @@ def simulate(
     row_heat: Optional[Mapping[int, int]] = None,
     warmup_fraction: float = 0.2,
     tracer=None,
+    timeline_interval_refs: Optional[int] = None,
 ) -> RunMetrics:
     """Build and run one system; return its measured metrics.
 
     ``tracer`` (an :class:`repro.obs.EventTracer`) is attached to the
     memory system, its management policy and every core; leaving it None
     keeps every emission site on its zero-cost guard path.
+    ``timeline_interval_refs`` enables phase-resolved timeline sampling
+    (one window per that many retired references, summed over cores);
+    None leaves every sampling site on the same zero-cost guard path.
     """
     if len(traces) != config.num_cores:
         raise ValueError(
             f"config expects {config.num_cores} cores, got {len(traces)} traces")
     hierarchy = CacheHierarchy(config.hierarchy, config.num_cores, config.seed)
     memory = build_memory_system(config, row_heat=row_heat)
+    sampler = None
+    if timeline_interval_refs is not None:
+        sampler = TimelineSampler(timeline_interval_refs)
     simulator = MultiCoreSimulator(
         config.core, traces, hierarchy, memory, max_references,
-        warmup_fraction=warmup_fraction)
+        warmup_fraction=warmup_fraction, sampler=sampler)
     if tracer is not None:
         memory.tracer = tracer
         memory.manager.tracer = tracer
         for core in simulator.cores:
             core.tracer = tracer
     simulator.run()
-    return collect_metrics(workload_name, config, simulator, hierarchy, memory)
+    return collect_metrics(workload_name, config, simulator, hierarchy,
+                           memory, sampler=sampler)
 
 
 def collect_metrics(
@@ -88,6 +97,7 @@ def collect_metrics(
     simulator: MultiCoreSimulator,
     hierarchy: CacheHierarchy,
     memory: MemorySystem,
+    sampler: Optional[TimelineSampler] = None,
 ) -> RunMetrics:
     """Assemble a :class:`RunMetrics` from the finished simulation."""
     manager = memory.manager
@@ -132,5 +142,6 @@ def collect_metrics(
         energy_nj=energy,
         extra=extra,
         stats=build_stats_tree(simulator.cores, hierarchy, memory).as_dict(),
+        timeline=sampler.export() if sampler is not None else {},
     )
     return metrics

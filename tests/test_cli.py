@@ -56,6 +56,110 @@ class TestStats:
         assert main(["stats", "libquantum", "--refs", "2500"]) == 0
         assert "[translation]" in capsys.readouterr().out
 
+    def test_empty_cached_stats_prints_guidance(self, capsys, tmp_path,
+                                                monkeypatch):
+        """A pre-stats cache entry yields advice, not an empty tree."""
+        import json
+
+        from repro.sim.metrics import RunMetrics
+        from repro.sim.runner import run_cache_key
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        stale = RunMetrics(workload="libquantum", design="das",
+                           references=2500, instructions=1,
+                           time_ns=[1.0], ipc=[1.0])
+        key = run_cache_key("libquantum", "das", references=2500)
+        (tmp_path / f"{key}.json").write_text(json.dumps(stale.to_dict()))
+        assert main(["stats", "libquantum", "--refs", "2500"]) == 1
+        out = capsys.readouterr().out
+        assert "predates CODE_VERSION 9" in out
+        assert "re-run" in out
+
+    def test_timeline_render_and_exports(self, capsys, tmp_path,
+                                         monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        csv_path = tmp_path / "t.csv"
+        json_path = tmp_path / "t.json"
+        assert main(["stats", "libquantum", "--refs", "2500",
+                     "--timeline", "--timeline-csv", str(csv_path),
+                     "--timeline-json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "timeline:" in out
+        assert "ipc" in out
+        assert csv_path.read_text().startswith("index,")
+        import json
+
+        doc = json.loads(json_path.read_text())
+        assert doc["num_windows"] == len(doc["windows"]) > 0
+
+    def test_timeline_missing_from_cache_prints_guidance(
+            self, capsys, tmp_path, monkeypatch):
+        import json
+
+        from repro.sim.metrics import RunMetrics
+        from repro.sim.runner import run_cache_key
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        stale = RunMetrics(workload="libquantum", design="das",
+                           references=2500, instructions=1,
+                           time_ns=[1.0], ipc=[1.0],
+                           stats={"core0": {"ipc": 1.0}})
+        key = run_cache_key("libquantum", "das", references=2500)
+        (tmp_path / f"{key}.json").write_text(json.dumps(stale.to_dict()))
+        assert main(["stats", "libquantum", "--refs", "2500",
+                     "--timeline"]) == 1
+        assert "predates CODE_VERSION 10" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_prints_ranked_deltas(self, capsys, tmp_path,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["compare", "libquantum:das", "libquantum:standard",
+                     "--refs", "2500"]) == 0
+        out = capsys.readouterr().out
+        assert "ranked stat deltas" in out
+        assert "timeline divergence" in out
+
+    def test_compare_rejects_unknown_design(self, capsys):
+        assert main(["compare", "mcf:das", "mcf:warp"]) == 2
+        assert "unknown design" in capsys.readouterr().err
+
+    def test_compare_rejects_unknown_workload(self, capsys, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["compare", "nosuch:das", "mcf:das",
+                     "--refs", "1000"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestPerf:
+    def test_list_names_scenarios(self, capsys):
+        assert main(["perf", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "single_das" in out
+        assert "exec_fig7a" in out
+
+    def test_record_then_check(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_PERF_REFS", "1500")
+        base_dir = tmp_path / "baselines"
+        assert main(["perf", "record", "single_das",
+                     "--dir", str(base_dir)]) == 0
+        capsys.readouterr()
+        assert main(["perf", "check", "single_das", "--dir",
+                     str(base_dir), "--skip-wall"]) == 0
+        assert "all perf baselines hold" in capsys.readouterr().out
+
+    def test_check_missing_baseline_fails(self, capsys, tmp_path,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_PERF_REFS", "1500")
+        assert main(["perf", "check", "single_das",
+                     "--dir", str(tmp_path / "empty"),
+                     "--skip-wall"]) == 1
+        assert "missing" in capsys.readouterr().err
+
 
 class TestEvents:
     def test_writes_chrome_trace(self, capsys, tmp_path, monkeypatch):
@@ -66,6 +170,8 @@ class TestEvents:
         assert main(["events", "libquantum", "--refs", "2500",
                      "--out", str(out_path), "--timeline", "5"]) == 0
         out = capsys.readouterr().out
+        # Satellite: the cache-bypass behaviour must be announced.
+        assert "bypasses the result cache" in out
         assert "events retained" in out
         doc = json.loads(out_path.read_text())
         phases = {e["ph"] for e in doc["traceEvents"]}
