@@ -13,7 +13,7 @@ from typing import List, Optional, Set, Tuple
 
 from ..common.config import CacheConfig
 from ..common.units import log2_exact
-from .replacement import LRUPolicy, ReplacementPolicy, make_policy
+from .replacement import LRUPolicy, RandomPolicy, ReplacementPolicy, make_policy
 
 
 class Cache:
@@ -27,6 +27,13 @@ class Cache:
     >>> c.access(0, is_write=False)
     (True, None)
     """
+
+    __slots__ = (
+        "config", "name", "line_bytes", "_line_shift", "_num_sets",
+        "_set_mask", "_ways", "_sets", "_dirty", "_policy",
+        "_reorder_on_hit", "_pop_last",
+        "hits", "misses", "evictions", "writebacks",
+    )
 
     def __init__(
         self,
@@ -45,6 +52,9 @@ class Cache:
         self._dirty: Set[int] = set()
         self._policy: ReplacementPolicy = make_policy(config.replacement, rng)
         self._reorder_on_hit = isinstance(self._policy, LRUPolicy)
+        # LRU and FIFO always evict the last way of the recency list, so
+        # the hot fill path can pop() without the policy round-trip.
+        self._pop_last = not isinstance(self._policy, RandomPolicy)
         # Hot-path statistics as plain ints.
         self.hits = 0
         self.misses = 0
@@ -103,11 +113,16 @@ class Cache:
         """Allocate ``line`` into its set, evicting if full."""
         writeback: Optional[int] = None
         if len(set_list) >= self._ways:
-            victim_way = self._policy.victim(line & self._set_mask, self._ways)
-            victim = set_list.pop(victim_way)
+            if self._pop_last:
+                victim = set_list.pop()
+            else:
+                victim_way = self._policy.victim(
+                    line & self._set_mask, self._ways)
+                victim = set_list.pop(victim_way)
             self.evictions += 1
-            if victim in self._dirty:
-                self._dirty.discard(victim)
+            dirty = self._dirty
+            if victim in dirty:
+                dirty.discard(victim)
                 self.writebacks += 1
                 writeback = victim << self._line_shift
         set_list.insert(0, line)

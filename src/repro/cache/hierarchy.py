@@ -20,6 +20,9 @@ from .cache import Cache
 #: Levels a reference can hit at.
 L1, L2, LLC, MEMORY = "L1", "L2", "LLC", "MEM"
 
+#: Shared empty writeback sequence for the (dominant) no-writeback case.
+_NO_WRITEBACKS: tuple = ()
+
 
 @dataclass
 class CacheAccessResult:
@@ -56,44 +59,63 @@ class CacheHierarchy:
         self.line_bytes = config.l1.line_bytes
         #: Demand LLC misses per core (for per-core MPKI).
         self.llc_demand_misses: List[int] = [0] * num_cores
+        # Hot-path constants: per-level latencies and the line-align mask.
+        self._l1_latency = config.l1.latency_cycles
+        self._l2_latency = config.l2.latency_cycles
+        self._llc_latency = config.llc.latency_cycles
+        self._line_align = ~(self.line_bytes - 1)
+
+    def access_tuple(self, core: int, address: int, is_write: bool):
+        """Hot-path access returning ``(level, latency_cycles, demand_fill,
+        writebacks)`` with no result-object allocation.
+
+        ``writebacks`` is a shared empty tuple in the (dominant) case of no
+        dirty spills; callers must only iterate it.  Semantics are exactly
+        :meth:`access` — that method is now a thin wrapper over this one.
+        """
+        hit, wb = self.l1[core].access(address, is_write)
+        if hit:
+            return (L1, self._l1_latency, None, _NO_WRITEBACKS)
+        writebacks = None
+        llc = self.llc
+        if wb is not None:
+            # L1 dirty victim lands in L2.
+            spill = self.l2[core].fill(wb, dirty=True)
+            if spill is not None:
+                spill2 = llc.fill(spill, dirty=True)
+                if spill2 is not None:
+                    writebacks = [spill2]
+        hit, wb = self.l2[core].access(address, is_write)
+        if hit:
+            return (L2, self._l2_latency, None,
+                    writebacks if writebacks is not None else _NO_WRITEBACKS)
+        if wb is not None:
+            spill = llc.fill(wb, dirty=True)
+            if spill is not None:
+                if writebacks is None:
+                    writebacks = [spill]
+                else:
+                    writebacks.append(spill)
+        hit, wb = llc.access(address, is_write)
+        if wb is not None:
+            if writebacks is None:
+                writebacks = [wb]
+            else:
+                writebacks.append(wb)
+        if writebacks is None:
+            writebacks = _NO_WRITEBACKS
+        if hit:
+            return (LLC, self._llc_latency, None, writebacks)
+        self.llc_demand_misses[core] += 1
+        return (MEMORY, self._llc_latency, address & self._line_align,
+                writebacks)
 
     def access(self, core: int, address: int, is_write: bool) -> CacheAccessResult:
         """Push one reference through the hierarchy for ``core``."""
-        cfg = self.config
-        l1 = self.l1[core]
-        hit, wb = l1.access(address, is_write)
-        if hit:
-            return CacheAccessResult(L1, cfg.l1.latency_cycles)
-        writebacks: List[int] = []
-        l2 = self.l2[core]
-        if wb is not None:
-            # L1 dirty victim lands in L2.
-            spill = l2.fill(wb, dirty=True)
-            if spill is not None:
-                spill2 = self.llc.fill(spill, dirty=True)
-                if spill2 is not None:
-                    writebacks.append(spill2)
-        hit, wb = l2.access(address, is_write)
-        if hit:
-            return CacheAccessResult(L2, cfg.l2.latency_cycles,
-                                     writebacks=writebacks)
-        if wb is not None:
-            spill = self.llc.fill(wb, dirty=True)
-            if spill is not None:
-                writebacks.append(spill)
-        hit, wb = self.llc.access(address, is_write)
-        if wb is not None:
-            writebacks.append(wb)
-        if hit:
-            return CacheAccessResult(LLC, cfg.llc.latency_cycles,
-                                     writebacks=writebacks)
-        self.llc_demand_misses[core] += 1
-        return CacheAccessResult(
-            MEMORY,
-            cfg.llc.latency_cycles,
-            demand_fill=(address // self.line_bytes) * self.line_bytes,
-            writebacks=writebacks,
-        )
+        level, latency, demand_fill, writebacks = self.access_tuple(
+            core, address, is_write)
+        return CacheAccessResult(level, latency, demand_fill=demand_fill,
+                                 writebacks=list(writebacks))
 
     def total_llc_misses(self) -> int:
         """Demand LLC misses summed over cores."""

@@ -143,6 +143,10 @@ def _build_parser() -> argparse.ArgumentParser:
     record.add_argument("--dir", default="benchmarks/baselines",
                         help="baseline directory "
                              "(default: benchmarks/baselines)")
+    record.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="run each scenario N times and record the "
+                             "best wall time; counters must repeat "
+                             "exactly (default: 1)")
     check = perf_sub.add_parser(
         "check", help="re-run scenarios and verify against baselines")
     check.add_argument("names", nargs="*",
@@ -157,6 +161,10 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--skip-wall", action="store_true",
                        help="verify only the deterministic counters "
                             "(machine-independent)")
+    check.add_argument("--repeat", type=int, default=1, metavar="N",
+                       help="compare the best wall of N runs against the "
+                            "baseline; counters must repeat exactly "
+                            "(default: 1)")
 
     events = sub.add_parser(
         "events", help="re-simulate with event tracing; export the trace")
@@ -454,14 +462,16 @@ def _perf_command(args) -> int:
         return 0
     try:
         if args.perf_command == "record":
-            written = perf.record(args.names or None, directory=args.dir)
+            written = perf.record(args.names or None, directory=args.dir,
+                                  repeat=args.repeat)
             for path in written:
                 print(f"recorded {path}")
             return 0
         if args.perf_command == "check":
             findings = perf.check(args.names or None, directory=args.dir,
                                   wall_tolerance=args.wall_tolerance,
-                                  check_wall=not args.skip_wall)
+                                  check_wall=not args.skip_wall,
+                                  repeat=args.repeat)
     except KeyError as error:
         print(str(error.args[0]), file=sys.stderr)
         return 2

@@ -95,6 +95,7 @@ class Histogram:
             raise ValueError("bucket_width and num_buckets must be positive")
         self.bucket_width = bucket_width
         self.buckets = [0] * num_buckets
+        self._num_buckets = num_buckets
         self.overflow = 0
         self.count = 0
         #: Largest sample observed; bounds percentiles that land in the
@@ -102,12 +103,13 @@ class Histogram:
         self.max_sample = 0.0
 
     def add(self, sample: float) -> None:
-        """Record one sample into its bucket."""
+        """Record one sample into its bucket (one call per DRAM access —
+        no len()/attribute chasing beyond the bucket list itself)."""
         self.count += 1
         if sample > self.max_sample:
             self.max_sample = sample
         index = int(sample // self.bucket_width)
-        if 0 <= index < len(self.buckets):
+        if 0 <= index < self._num_buckets:
             self.buckets[index] += 1
         else:
             self.overflow += 1

@@ -32,7 +32,7 @@ from .scheduler import make_scheduler
 EPSILON_NS = 0.001
 
 
-@dataclass
+@dataclass(slots=True)
 class Translation:
     """Outcome of translating one request's logical location.
 
@@ -40,6 +40,8 @@ class Translation:
     translation found outside the translation cache but inside the LLC.
     ``table_row`` (when not None) forces a chained DRAM read of the
     translation table in the same bank before the data access.
+
+    Slotted: one is allocated per demand access (hot path).
     """
 
     physical_row: int
@@ -110,6 +112,13 @@ class MemorySystem:
             for channel in range(device.geometry.channels)
             for rank in range(device.geometry.ranks_per_channel)
         }
+        # Earliest refresh deadline per channel: the drain loop skips the
+        # per-rank scan entirely until a deadline is actually due.
+        self._refresh_min = [slow.tREFI] * device.geometry.channels
+        # Hot-path bindings (avoid repeated attribute chains per access).
+        self._mapping = device.mapping
+        self._banks = device.banks
+        self._rows_per_bank = device.geometry.rows_per_bank
         self.refreshes = 0
         #: Optional event tracer (attached by repro.sim.system.simulate);
         #: None keeps the issue path branch-cheap.
@@ -141,32 +150,36 @@ class MemorySystem:
         a DRAM table fetch, a parent request is chained in front of it
         transparently.
         """
-        decoded = self.device.mapping.decode(address)
-        flat_bank = decoded.flat_bank(self.device.geometry)
-        logical_row = (flat_bank * self.device.geometry.rows_per_bank
-                       + decoded.row)
+        channel, flat_bank, row = self._mapping.decode_flat(address)
+        logical_row = flat_bank * self._rows_per_bank + row
         kind = DEMAND_WRITE if is_write else DEMAND_READ
         request = Request(arrival_ns, address, is_write, core, kind)
-        request.channel = decoded.channel
+        request.channel = channel
         request.flat_bank = flat_bank
         request.logical_row = logical_row
         translation = self.manager.translate(
-            logical_row, flat_bank, decoded.row, is_write, arrival_ns)
+            logical_row, flat_bank, row, is_write, arrival_ns)
         request.row = translation.physical_row
-        request.arrival_ns = arrival_ns + translation.delay_ns
-        if translation.table_row is None:
-            self._enqueue(request)
+        delay = translation.delay_ns
+        if delay:
+            request.arrival_ns = arrival_ns + delay
+        table_row = translation.table_row
+        if table_row is None:
+            if is_write:
+                self._write_q[channel].append(request)
+            else:
+                self._read_q[channel].append(request)
         else:
             parent = Request(arrival_ns, address, False, core,
                              TRANSLATION_READ)
-            parent.channel = decoded.channel
+            parent.channel = channel
             parent.flat_bank = flat_bank
-            parent.row = translation.table_row
+            parent.row = table_row
             parent.logical_row = logical_row
             parent.dependent = request
-            parent.extra_delay_ns = translation.delay_ns
+            parent.extra_delay_ns = delay
             request.parent = parent
-            self._enqueue(parent)
+            self._read_q[channel].append(parent)
         self.touched_rows.add(logical_row)
         return request
 
@@ -192,11 +205,11 @@ class MemorySystem:
         single-core co-simulation, where a blocked core submits nothing
         until this very request completes.  Returns the completion time.
         """
-        while not request.resolved:
+        while request.completion_ns is None:
             parent = request.parent
             target = parent if parent is not None else request
             self._drain_channel(target.channel, math.inf, stop=target)
-        return request.completion_ns  # type: ignore[return-value]
+        return request.completion_ns
 
     def flush(self) -> None:
         """Schedule everything that remains (end of simulation)."""
@@ -216,13 +229,23 @@ class MemorySystem:
 
         Used by blocked cores to publish a safe next-event time.
         """
-        if request.resolved:
-            return request.completion_ns  # type: ignore[return-value]
-        if request.parent is not None and not request.parent.resolved:
-            target = request.parent
+        completion = request.completion_ns
+        if completion is not None:
+            return completion
+        parent = request.parent
+        if parent is not None and parent.completion_ns is None:
+            target = parent
         else:
             target = request
-        base = max(target.arrival_ns, self._clock[target.channel])
+        base = target.arrival_ns
+        clock = self._clock[target.channel]
+        if clock > base:
+            base = clock
+        # Note: a tighter completion bound (e.g. + tCL + tBURST) would be
+        # safe for the *schedule*, but the warmup reset and the timeline
+        # sampler observe state at poll boundaries, so coarsening the
+        # drain windows moves those snapshots — the epsilon step is part
+        # of the deterministic contract.
         return base + EPSILON_NS
 
     def _drain_channel(self, channel: int, t_safe: float,
@@ -241,34 +264,70 @@ class MemorySystem:
         reads = self._read_q[channel]
         writes = self._write_q[channel]
         progressed = False
+        # Hot loop: every binding below saves an attribute chase per
+        # decision (one decision per DRAM transaction).
+        clock = self._clock
+        draining = self._draining
+        low_mark = self._low_mark
+        high_mark = self._high_mark
+        refresh_enabled = self._refresh_enabled
+        refresh_min = self._refresh_min
+        pick = self._scheduler.pick
+        inf = math.inf
         while reads or writes:
-            if stop is not None and stop.resolved:
+            if stop is not None and stop.completion_ns is not None:
                 break
-            min_arrival = math.inf
-            for queue in (reads, writes):
-                for req in queue:
-                    if req.arrival_ns < min_arrival:
-                        min_arrival = req.arrival_ns
-            now = max(self._clock[channel], min_arrival)
+            if not writes and len(reads) == 1:
+                # Dominant single-core shape: exactly one queued read.
+                # Skips the arrival scan, ready filtering and write-drain
+                # hysteresis (with no ready writes the slow path would
+                # clear the draining flag, so mirror that).
+                request = reads[0]
+                now = clock[channel]
+                arrival = request.arrival_ns
+                if arrival > now:
+                    now = arrival
+                if now > t_safe:
+                    break
+                if refresh_enabled and now >= refresh_min[channel]:
+                    self._refresh_due(channel, now)
+                if draining[channel]:
+                    draining[channel] = False
+                del reads[0]
+                self._issue(request, channel, now)
+                progressed = True
+                continue
+            min_arrival = inf
+            for req in reads:
+                arrival = req.arrival_ns
+                if arrival < min_arrival:
+                    min_arrival = arrival
+            for req in writes:
+                arrival = req.arrival_ns
+                if arrival < min_arrival:
+                    min_arrival = arrival
+            now = clock[channel]
+            if min_arrival > now:
+                now = min_arrival
             if now > t_safe:
                 break
-            if self._refresh_enabled:
+            if refresh_enabled and now >= refresh_min[channel]:
                 self._refresh_due(channel, now)
             ready_reads = [r for r in reads if r.arrival_ns <= now]
             ready_writes = [w for w in writes if w.arrival_ns <= now]
             # Write-drain hysteresis (high/low watermarks).
-            if self._draining[channel]:
-                if len(writes) <= self._low_mark or not ready_writes:
-                    self._draining[channel] = False
-            elif len(writes) >= self._high_mark and ready_writes:
-                self._draining[channel] = True
-            use_writes = bool(ready_writes) and (
-                self._draining[channel] or not ready_reads)
-            if use_writes:
-                request = self._scheduler.pick(ready_writes, now)
+            if draining[channel]:
+                if len(writes) <= low_mark or not ready_writes:
+                    draining[channel] = False
+            elif len(writes) >= high_mark and ready_writes:
+                draining[channel] = True
+            if ready_writes and (draining[channel] or not ready_reads):
+                request = (ready_writes[0] if len(ready_writes) == 1
+                           else pick(ready_writes, now))
                 writes.remove(request)
             else:
-                request = self._scheduler.pick(ready_reads, now)
+                request = (ready_reads[0] if len(ready_reads) == 1
+                           else pick(ready_reads, now))
                 reads.remove(request)
             self._issue(request, channel, now)
             progressed = True
@@ -282,20 +341,22 @@ class MemorySystem:
         does not postpone refreshes).
         """
         geometry = self.device.geometry
-        for rank in range(geometry.ranks_per_channel):
+        next_refresh = self._next_refresh
+        ranks = geometry.ranks_per_channel
+        for rank in range(ranks):
             key = (channel, rank)
-            while self._next_refresh[key] <= now:
-                start = self._next_refresh[key]
-                base = (channel * geometry.ranks_per_channel + rank) \
-                    * geometry.banks_per_rank
+            while next_refresh[key] <= now:
+                start = next_refresh[key]
+                base = (channel * ranks + rank) * geometry.banks_per_rank
                 for bank_index in range(geometry.banks_per_rank):
-                    self.device.banks[base + bank_index].occupy(
-                        start, self._tRFC)
+                    self._banks[base + bank_index].occupy(start, self._tRFC)
                 self.refreshes += 1
-                self._next_refresh[key] = start + self._tREFI
+                next_refresh[key] = start + self._tREFI
+        self._refresh_min[channel] = min(
+            next_refresh[(channel, rank)] for rank in range(ranks))
 
     def _issue(self, request: Request, channel: int, now: float) -> None:
-        bank = self.device.banks[request.flat_bank]
+        bank = self._banks[request.flat_bank]
         op = bank.schedule(request.row, request.is_write, now)
         completion = op.data_end_ns
         if not request.is_write:
@@ -305,8 +366,11 @@ class MemorySystem:
         if self._closed_page:
             # Auto-precharge after the column access (closed-page policy).
             bank.precharge_now(op.data_end_ns)
-        self._clock[channel] = max(self._clock[channel],
-                                   now) + self._command_slot_ns
+        clock = self._clock
+        base = clock[channel]
+        if now > base:
+            base = now
+        clock[channel] = base + self._command_slot_ns
         self._record(request, op)
         if self.tracer is not None:
             if request.kind == TRANSLATION_READ:

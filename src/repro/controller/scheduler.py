@@ -8,6 +8,7 @@ row hits may bypass an older request.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import List, Sequence
 
 from ..dram.device import DRAMDevice
@@ -16,6 +17,8 @@ from .request import Request
 #: Maximum time a request may be bypassed by younger row hits before the
 #: scheduler falls back to strict age order (ns).
 STARVATION_CAP_NS = 500.0
+
+_BY_ARRIVAL = attrgetter("arrival_ns")
 
 
 class FRFCFSScheduler:
@@ -44,7 +47,10 @@ class FRFCFSScheduler:
         """
         if not ready:
             raise ValueError("pick() requires a non-empty ready list")
-        window = sorted(ready, key=lambda r: r.arrival_ns)[: self.window]
+        if len(ready) == 1:
+            # Singleton ready set: every preference rule picks it.
+            return ready[0]
+        window = sorted(ready, key=_BY_ARRIVAL)[: self.window]
         oldest = window[0]
         if now - oldest.arrival_ns > STARVATION_CAP_NS:
             return oldest
@@ -56,8 +62,10 @@ class FRFCFSScheduler:
             if (bank.open_row == request.row and bank.busy_until <= now
                     and not bank.pending_migrations):
                 return request
-            key = (max(bank.earliest_service(request.row), now),
-                   request.arrival_ns)
+            service = bank.earliest_service(request.row)
+            if service < now:
+                service = now
+            key = (service, request.arrival_ns)
             if best is None or key < best_key:
                 best = request
                 best_key = key
@@ -77,7 +85,7 @@ class FCFSScheduler:
     def pick(self, ready: Sequence[Request], now: float) -> Request:
         if not ready:
             raise ValueError("pick() requires a non-empty ready list")
-        return min(ready, key=lambda r: r.arrival_ns)
+        return min(ready, key=_BY_ARRIVAL)
 
 
 def make_scheduler(name: str, device: DRAMDevice, window: int):

@@ -57,6 +57,14 @@ class DASManager(ManagementPolicy):
         self.engine = engine
         self.llc_latency_ns = llc_latency_ns
         self._rows_per_bank = organization.geometry.rows_per_bank
+        # Hot-path bindings of the (immutable) group geometry: translate()
+        # runs once per demand access and inlines physical_row()'s
+        # arithmetic against these instead of chasing organization
+        # attributes and re-validating ranges per call.
+        self._group_rows = organization.group_rows
+        self._fast_per_group = organization.fast_per_group
+        self._slow_per_group = organization.slow_per_group
+        self._fast_rows_per_bank = organization.fast_rows_per_bank
         #: Logical rows whose promotion swap is queued but not yet
         #: physically executed (guards against re-triggering).
         self._inflight_promotions: set = set()
@@ -81,14 +89,20 @@ class DASManager(ManagementPolicy):
 
     def translate(self, logical_row: int, flat_bank: int, row: int,
                   is_write: bool, now: float) -> Translation:
-        org = self.organization
-        group = row // org.group_rows
-        local = row % org.group_rows
+        group_rows = self._group_rows
+        group = row // group_rows
+        local = row - group * group_rows
         slot = self.table.slot_of(flat_bank, group, local)
-        physical = org.physical_row(group, slot)
-        is_fast = slot < org.fast_per_group
+        fast_per_group = self._fast_per_group
+        is_fast = slot < fast_per_group
         if is_fast:
+            # physical_row(group, slot) for a fast slot.
+            physical = group * fast_per_group + slot
             self.replacement.touch(flat_bank, group, slot)
+        else:
+            physical = (self._fast_rows_per_bank
+                        + group * self._slow_per_group
+                        + slot - fast_per_group)
         cached = self.translation_cache.lookup(logical_row)
         if cached is not None:
             # Concurrent with the LLC lookup: zero added latency.
@@ -100,7 +114,7 @@ class DASManager(ManagementPolicy):
         # Miss everywhere: fetch the translation line from DRAM.  The LLC
         # was checked on the way (one LLC latency) and the fetched line is
         # installed in both structures.
-        self._table_fetches.add()
+        self._table_fetches.value += 1
         if self.tracer is not None:
             self.tracer.emit(now, "translation", "table_fetch",
                              tid=TRANSLATION_TID, row=logical_row,
@@ -111,24 +125,24 @@ class DASManager(ManagementPolicy):
         return Translation(
             physical,
             delay_ns=self.llc_latency_ns,
-            table_row=org.table_row_for(row),
+            table_row=self.organization.table_row_for(row),
         )
 
     def on_scheduled(self, request: Request, op: BankOp,
                      controller: MemorySystem) -> None:
         if op.subarray_class != SLOW:
-            self._fast_accesses.add()
+            self._fast_accesses.value += 1
             return
-        self._slow_accesses.add()
+        self._slow_accesses.value += 1
         logical_row = request.logical_row
         if logical_row in self._inflight_promotions:
             return
-        org = self.organization
+        group_rows = self._group_rows
         bank_row = logical_row % self._rows_per_bank
-        group = bank_row // org.group_rows
-        local = bank_row % org.group_rows
+        group = bank_row // group_rows
+        local = bank_row - group * group_rows
         if self.table.slot_of(request.flat_bank, group,
-                              local) < org.fast_per_group:
+                              local) < self._fast_per_group:
             # Promoted between submit and schedule (stale physical row).
             return
         if not self.promotion.should_promote(logical_row):
@@ -274,17 +288,25 @@ class StaticAsymmetricManager(ManagementPolicy):
     def translate(self, logical_row: int, flat_bank: int, row: int,
                   is_write: bool, now: float) -> Translation:
         org = self.organization
-        group = row // org.group_rows
-        local = row % org.group_rows
+        group_rows = org.group_rows
+        group = row // group_rows
+        local = row - group * group_rows
         slot = self.table.slot_of(flat_bank, group, local)
-        return Translation(org.physical_row(group, slot))
+        fast_per_group = org.fast_per_group
+        if slot < fast_per_group:
+            physical = group * fast_per_group + slot
+        else:
+            physical = (org.fast_rows_per_bank
+                        + group * org.slow_per_group
+                        + slot - fast_per_group)
+        return Translation(physical)
 
     def on_scheduled(self, request: Request, op: BankOp,
                      controller: MemorySystem) -> None:
         if op.subarray_class == SLOW:
-            self._slow_accesses.add()
+            self._slow_accesses.value += 1
         else:
-            self._fast_accesses.add()
+            self._fast_accesses.value += 1
 
     @property
     def promotions(self) -> int:

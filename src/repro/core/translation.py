@@ -17,7 +17,7 @@ Lookup path (paper Section 5.2/5.3):
 from __future__ import annotations
 
 from array import array
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..common.statistics import StatGroup
 from .organization import AsymmetricOrganization
@@ -29,26 +29,48 @@ class TranslationTable:
     Groups are materialised lazily with the identity permutation (logical
     local index *l* lives in slot *l*), which places the first
     ``fast_per_group`` logical rows of every group in fast slots at boot.
+
+    Storage is a flat list indexed ``flat_bank * groups_per_bank + group``
+    (one translation-table lookup per demand access — a tuple-keyed dict
+    here costs a tuple allocation plus hashing on the hot path).
     """
 
     def __init__(self, organization: AsymmetricOrganization) -> None:
         self.organization = organization
         self._group_rows = organization.group_rows
-        #: (flat_bank, group) -> (slot_of_local, local_in_slot) arrays.
-        self._groups: Dict[Tuple[int, int], Tuple[array, array]] = {}
+        self._groups_per_bank = organization.groups_per_bank
+        total_banks = organization.geometry.total_banks
+        #: flat group index -> (slot_of_local, local_in_slot) arrays.
+        self._groups: List[Optional[Tuple[array, array]]] = \
+            [None] * (total_banks * self._groups_per_bank)
+        self._identity = array("H", range(self._group_rows))
+        self._materialized = 0
 
     def _group(self, flat_bank: int, group: int) -> Tuple[array, array]:
-        key = (flat_bank, group)
-        entry = self._groups.get(key)
+        index = flat_bank * self._groups_per_bank + group
+        entry = self._groups[index]
         if entry is None:
-            identity = array("H", range(self._group_rows))
+            identity = self._identity
             entry = (array("H", identity), array("H", identity))
-            self._groups[key] = entry
+            self._groups[index] = entry
+            self._materialized += 1
         return entry
 
     def slot_of(self, flat_bank: int, group: int, local: int) -> int:
-        """Group-local slot currently holding logical local row ``local``."""
-        return self._group(flat_bank, group)[0][local]
+        """Group-local slot currently holding logical local row ``local``.
+
+        Materialises the group on first touch (``materialized_groups``
+        counts groups ever looked up, mirroring the pre-flat-storage
+        behaviour so cached stats trees stay identical).
+        """
+        index = flat_bank * self._groups_per_bank + group
+        entry = self._groups[index]
+        if entry is None:
+            identity = self._identity
+            entry = (array("H", identity), array("H", identity))
+            self._groups[index] = entry
+            self._materialized += 1
+        return entry[0][local]
 
     def local_in_slot(self, flat_bank: int, group: int, slot: int) -> int:
         """Logical local row currently stored in ``slot``."""
@@ -62,8 +84,8 @@ class TranslationTable:
         inverse[slot_a], inverse[slot_b] = local_b, local_a
 
     def materialized_groups(self) -> int:
-        """Number of groups that have diverged from identity (inspection)."""
-        return len(self._groups)
+        """Number of groups whose permutation arrays exist (inspection)."""
+        return self._materialized
 
 
 class TranslationCache:
@@ -91,9 +113,9 @@ class TranslationCache:
         entries = self._entries
         slot = entries.get(logical_row)
         if slot is None:
-            self._misses.add()
+            self._misses.value += 1
             return None
-        self._hits.add()
+        self._hits.value += 1
         del entries[logical_row]
         entries[logical_row] = slot
         return slot
@@ -163,14 +185,14 @@ class LLCTranslationPartition:
 
     def lookup(self, logical_row: int) -> bool:
         """True (and recency refreshed) when the covering line is resident."""
-        key = self.line_key(logical_row)
+        key = logical_row // self.entries_per_line
         lines = self._lines
         if key in lines:
-            self._hits.add()
+            self._hits.value += 1
             del lines[key]
             lines[key] = None
             return True
-        self._misses.add()
+        self._misses.value += 1
         return False
 
     def insert(self, logical_row: int) -> None:

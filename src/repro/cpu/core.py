@@ -101,48 +101,127 @@ class Core:
         ``until_references`` optionally pauses the core once it has
         consumed that many references (used for the warmup boundary in
         single-core fast-path runs).
+
+        This is the simulator's innermost loop (one iteration per trace
+        reference).  Progress state lives in locals and is synced back in
+        the ``finally`` block; cache hits take a path with no allocations
+        and no ROB mutation (the ROB only ever holds DRAM loads, so a hit
+        can at most advance the retire floor).
         """
         if self.finished:
             return
-        while True:
-            if self._blocked_on is not None:
-                if not self._blocked_on.resolved:
-                    return
-                self._retire_blocked()
-            if self._pending_ref is None:
-                if until_references is not None \
-                        and self.references >= until_references:
-                    return
-                if self.references >= self.max_references:
-                    self._finish()
-                    return
-                try:
-                    gap, address, is_write = next(self.trace)
-                except StopIteration:
-                    self._finish()
-                    return
-                self.references += 1
-                self.instructions += gap + 1
-                self.fetch_ns += (gap + 1) * self._slot_ns
-                self._pending_ref = (address, is_write)
-            if not self._make_rob_room():
-                return
-            address, is_write = self._pending_ref
-            self._pending_ref = None
-            result = self.hierarchy.access(self.core_id, address, is_write)
-            for writeback in result.writebacks:
-                self.memory.submit(self.fetch_ns, writeback, True,
-                                   self.core_id)
-            if result.level != MEMORY:
-                completion = self.fetch_ns + result.latency_cycles * self._cycle_ns
-                if not is_write and completion > self.retire_floor_ns:
-                    self.retire_floor_ns = completion
-                continue
-            miss_time = self.fetch_ns + result.latency_cycles * self._cycle_ns
-            request = self.memory.submit(miss_time, result.demand_fill,
-                                         False, self.core_id)
-            if not is_write:
-                self._outstanding.append((self.instructions, request))
+        blocked = self._blocked_on
+        if blocked is not None and blocked.completion_ns is None:
+            # Still waiting on DRAM: skip the (comparatively expensive)
+            # local-binding prologue — the multi-core driver polls every
+            # core after every drain, and most polls land here.
+            return
+        # Loop-invariant bindings.
+        trace_next = self.trace.__next__
+        access = self.hierarchy.access_tuple
+        memory = self.memory
+        submit = memory.submit
+        outstanding = self._outstanding
+        core_id = self.core_id
+        slot_ns = self._slot_ns
+        cycle_ns = self._cycle_ns
+        rob = self._rob
+        max_references = self.max_references
+        direct_resolve = self.direct_resolve
+        memory_level = MEMORY
+        # Progress state mirrored into locals for the duration of the call.
+        fetch_ns = self.fetch_ns
+        retire_floor_ns = self.retire_floor_ns
+        instructions = self.instructions
+        references = self.references
+        rob_stalls = self.rob_stalls
+        stall_ns = self.stall_ns
+        try:
+            while True:
+                blocked = self._blocked_on
+                if blocked is not None:
+                    completion = blocked.completion_ns
+                    if completion is None:
+                        return
+                    self._blocked_on = None
+                    if completion > retire_floor_ns:
+                        retire_floor_ns = completion
+                    if fetch_ns < retire_floor_ns:
+                        stall = retire_floor_ns - fetch_ns
+                        rob_stalls += 1
+                        stall_ns += stall
+                        if self.tracer is not None:
+                            self.tracer.emit(fetch_ns, "core", "rob_stall",
+                                             dur_ns=stall, tid=core_id,
+                                             core=core_id)
+                        fetch_ns = retire_floor_ns
+                pending = self._pending_ref
+                if pending is None:
+                    if until_references is not None \
+                            and references >= until_references:
+                        return
+                    if references >= max_references:
+                        self.finished = True
+                        return
+                    try:
+                        gap, address, is_write = trace_next()
+                    except StopIteration:
+                        self.finished = True
+                        return
+                    references += 1
+                    slots = gap + 1
+                    instructions += slots
+                    fetch_ns += slots * slot_ns
+                else:
+                    address, is_write = pending
+                    self._pending_ref = None
+                # Retire loads that must leave the ROB before this
+                # instruction can enter (in-order retirement).
+                if outstanding:
+                    boundary = instructions - rob
+                    while outstanding and outstanding[0][0] <= boundary:
+                        _inst, request = outstanding.popleft()
+                        completion = request.completion_ns
+                        if completion is None:
+                            if direct_resolve:
+                                completion = memory.resolve(request)
+                            else:
+                                self._blocked_on = request
+                                self._pending_ref = (address, is_write)
+                                return
+                        if completion > retire_floor_ns:
+                            retire_floor_ns = completion
+                        if fetch_ns < retire_floor_ns:
+                            stall = retire_floor_ns - fetch_ns
+                            rob_stalls += 1
+                            stall_ns += stall
+                            if self.tracer is not None:
+                                self.tracer.emit(fetch_ns, "core",
+                                                 "rob_stall", dur_ns=stall,
+                                                 tid=core_id, core=core_id)
+                            fetch_ns = retire_floor_ns
+                level, latency, demand_fill, writebacks = access(
+                    core_id, address, is_write)
+                if writebacks:
+                    for writeback in writebacks:
+                        submit(fetch_ns, writeback, True, core_id)
+                if level != memory_level:
+                    if not is_write:
+                        completion = fetch_ns + latency * cycle_ns
+                        if completion > retire_floor_ns:
+                            retire_floor_ns = completion
+                    continue
+                miss_time = fetch_ns + latency * cycle_ns
+                request = submit(miss_time, demand_fill, False, core_id)
+                if not is_write:
+                    outstanding.append((instructions, request))
+        finally:
+            self.fetch_ns = fetch_ns
+            self.retire_floor_ns = retire_floor_ns
+            self.instructions = instructions
+            self.references = references
+            self.rob_stalls = rob_stalls
+            self.stall_ns = stall_ns
 
     def _make_rob_room(self) -> bool:
         """Retire loads that must leave the ROB before the current

@@ -62,19 +62,30 @@ class MultiCoreSimulator:
         if len(cores) == 1:
             self._run_single(cores[0])
             return
+        drain = memory.drain
+        active = list(cores)
+        inf = float("inf")
         while True:
-            for core in cores:
+            any_finished = False
+            for core in active:
                 core.advance()
+                if core.finished:
+                    any_finished = True
             if not self._warmup_done and all(
                 core.references >= self._warmup_refs or core.finished
                 for core in cores
             ):
                 self._begin_measurement()
-            active = [core for core in cores if not core.finished]
-            if not active:
-                break
-            t_safe = min(core.bound() for core in active)
-            memory.drain(t_safe)
+            if any_finished:
+                active = [core for core in active if not core.finished]
+                if not active:
+                    break
+            t_safe = inf
+            for core in active:
+                bound = core.bound()
+                if bound < t_safe:
+                    t_safe = bound
+            drain(t_safe)
             if sampler is not None:
                 sampler.maybe_sample()
         memory.flush()

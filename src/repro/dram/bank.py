@@ -8,6 +8,12 @@ DESIGN.md "Modelling decisions" for the fidelity argument.
 A bank knows the timing class of each physical row through a classifier
 callable, which is how asymmetric (fast/slow subarray) banks differ from
 homogeneous ones.
+
+Hot path: :meth:`Bank.schedule` runs once per DRAM transaction.  All
+timing parameters come from precomputed :class:`TimingTable` structures
+(flat ``__slots__`` floats, derived values like tRC computed once at
+device build) instead of re-deriving dataclass properties per access —
+see DESIGN.md §9.
 """
 
 from __future__ import annotations
@@ -18,7 +24,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from .channel import Channel
 from .rank import Rank
-from .timing import FAST, SLOW, TimingParams
+from .timing import SLOW, TimingParams, TimingTable, build_timing_tables
+
+_INF = math.inf
 
 
 @dataclass
@@ -39,8 +47,8 @@ class Bank:
     """One DRAM bank with per-subarray-class timing."""
 
     __slots__ = (
-        "timings", "classify", "subarray_of", "rank", "channel",
-        "open_row", "_open_params",
+        "timings", "tables", "classify", "subarray_of", "rank", "channel",
+        "open_row", "_open_table",
         "next_activate", "next_precharge_ok", "column_ready",
         "busy_until", "pending_migrations", "active_migrations",
         "row_timeout_ns", "last_column_ns",
@@ -54,17 +62,21 @@ class Bank:
         rank: Rank,
         channel: Channel,
         subarray_of: Optional[Callable[[int], int]] = None,
+        tables: Optional[Dict[str, TimingTable]] = None,
     ) -> None:
         if SLOW not in timings:
             raise ValueError("bank requires at least the slow timing class")
         self.timings = timings
+        #: Precomputed flat timing tables (shared across a device's banks).
+        self.tables = tables if tables is not None \
+            else build_timing_tables(timings)
         self.classify = classify
         #: Physical subarray index of a row (for migration-window scoping).
         self.subarray_of = subarray_of or (lambda row: row // 64)
         self.rank = rank
         self.channel = channel
         self.open_row: Optional[int] = None
-        self._open_params: TimingParams = timings[SLOW]
+        self._open_table: TimingTable = self.tables[SLOW]
         #: Earliest time a new ACT may issue on this bank.
         self.next_activate = 0.0
         #: Earliest time a PRE may issue (tRAS / tRTP / tWR constraints).
@@ -89,7 +101,9 @@ class Bank:
         #: targeting an involved subarray wait; the rest of the bank keeps
         #: serving (the migration path is internal to two neighbouring
         #: subarrays and their shared half row buffers).
-        self.active_migrations: List[Tuple[float, frozenset]] = []
+        #: Entries are ``(end_ns, subarray_tuple)`` — tuples, not sets:
+        #: membership scans are over one or two elements.
+        self.active_migrations: List[Tuple[float, tuple]] = []
         # Activity counters (aggregated into the controller's stats tree).
         self.activations = 0
         self.precharges = 0
@@ -110,63 +124,74 @@ class Bank:
 
         Updates bank, rank and channel state; returns the op timing.
         """
-        if (self.row_timeout_ns is not None and self.open_row is not None
+        open_row = self.open_row
+        if (self.row_timeout_ns is not None and open_row is not None
                 and earliest - self.last_column_ns > self.row_timeout_ns):
             # Timeout policy: the idle row was auto-precharged at
             # last-use + timeout, so this access sees a closed bank.
-            close = max(self.next_precharge_ok,
-                        self.last_column_ns + self.row_timeout_ns)
-            self.open_row = None
-            self.column_ready = math.inf
-            self.next_activate = max(self.next_activate,
-                                     close + self._open_params.tRP)
-        row_hit = self.open_row == row
+            close = self.last_column_ns + self.row_timeout_ns
+            if close < self.next_precharge_ok:
+                close = self.next_precharge_ok
+            open_row = self.open_row = None
+            self.column_ready = _INF
+            ready = close + self._open_table.tRP
+            if ready > self.next_activate:
+                self.next_activate = ready
+        row_hit = open_row == row
         if not row_hit:
             if self.pending_migrations:
                 # The open burst (if any) has ended: start deferred swaps.
                 self._start_pending_migrations()
+                open_row = self.open_row
             if self.active_migrations:
                 earliest = self._wait_for_migrations(row, earliest)
-        earliest = max(earliest, self.busy_until)
+        if earliest < self.busy_until:
+            earliest = self.busy_until
         row_class = self.classify(row)
-        params = self.timings[row_class]
+        table = self.tables[row_class]
         activated = False
         precharged = False
-        row_conflict = self.open_row is not None and not row_hit
+        row_conflict = open_row is not None and not row_hit
         if row_hit:
-            col_ready = max(earliest, self.column_ready)
+            col_ready = self.column_ready
+            if col_ready < earliest:
+                col_ready = earliest
             first_cmd = col_ready
         else:
             if row_conflict:
-                pre = max(earliest, self.next_precharge_ok)
-                act_ready = max(pre + self._open_params.tRP,
-                                self.next_activate)
+                pre = self.next_precharge_ok
+                if pre < earliest:
+                    pre = earliest
+                act_ready = pre + self._open_table.tRP
+                if act_ready < self.next_activate:
+                    act_ready = self.next_activate
                 precharged = True
                 first_cmd_lb = pre
             else:
-                act_ready = max(earliest, self.next_activate)
+                act_ready = self.next_activate
+                if act_ready < earliest:
+                    act_ready = earliest
                 first_cmd_lb = act_ready
             act = self.rank.activate_time(act_ready)
             activated = True
             self.activations += 1
             if row_conflict:
                 self.precharges += 1
-            first_cmd = min(first_cmd_lb, act)
+            first_cmd = first_cmd_lb if first_cmd_lb < act else act
             self.open_row = row
-            self._open_params = params
-            self.next_precharge_ok = act + params.tRAS
-            self.next_activate = act + params.tRC
-            self.column_ready = act + params.tRCD
-            col_ready = self.column_ready
+            self._open_table = table
+            self.next_precharge_ok = act + table.tRAS
+            self.next_activate = act + table.tRC
+            col_ready = self.column_ready = act + table.tRCD
         col, data_start, data_end = self.channel.reserve(
-            col_ready, is_write, params)
+            col_ready, is_write, table)
         self.last_column_ns = col
         if is_write:
-            self.next_precharge_ok = max(self.next_precharge_ok,
-                                         data_end + params.tWR)
+            pre_ok = data_end + table.tWR
         else:
-            self.next_precharge_ok = max(self.next_precharge_ok,
-                                         col + params.tRTP)
+            pre_ok = col + table.tRTP
+        if pre_ok > self.next_precharge_ok:
+            self.next_precharge_ok = pre_ok
         return BankOp(
             first_command_ns=first_cmd,
             data_start_ns=data_start,
@@ -189,7 +214,7 @@ class Bank:
         start = max(earliest, self.busy_until)
         if self.open_row is not None:
             pre = max(start, self.next_precharge_ok)
-            start = pre + self._open_params.tRP
+            start = pre + self._open_table.tRP
             self.open_row = None
             self.precharges += 1
         start = max(start, self.next_activate)
@@ -217,6 +242,7 @@ class Bank:
         """
         last_end = 0.0
         self.migration_windows += len(self.pending_migrations)
+        windows = self.active_migrations
         for ready, duration, subarrays, commit in self.pending_migrations:
             start = max(ready, self.next_precharge_ok
                         if self.open_row is not None else 0.0, last_end)
@@ -225,10 +251,10 @@ class Bank:
             ordered = sorted(subarrays)
             if len(ordered) >= 2:
                 half = start + duration / 2.0
-                self.active_migrations.append((half, frozenset((ordered[0],))))
-                self.active_migrations.append((end, frozenset(ordered[1:])))
+                windows.append((half, (ordered[0],)))
+                windows.append((end, tuple(ordered[1:])))
             else:
-                self.active_migrations.append((end, frozenset(ordered)))
+                windows.append((end, tuple(ordered)))
             if commit is not None:
                 commit()
         self.pending_migrations = []
@@ -261,10 +287,11 @@ class Bank:
             ready = max(self.next_activate, self.busy_until)
         else:
             ready = max(self.next_precharge_ok, self.busy_until)
-        subarray = self.subarray_of(row)
-        for end, subarrays in self.active_migrations:
-            if end > ready and subarray in subarrays:
-                ready = end
+        if self.active_migrations:
+            subarray = self.subarray_of(row)
+            for end, subarrays in self.active_migrations:
+                if end > ready and subarray in subarrays:
+                    ready = end
         return ready
 
     def defer_migration(self, ready: float, duration: float,
@@ -291,7 +318,7 @@ class Bank:
         if self.open_row is None:
             return max(earliest, self.next_activate)
         pre = max(earliest, self.next_precharge_ok)
-        ready = pre + self._open_params.tRP
+        ready = pre + self._open_table.tRP
         self.open_row = None
         self.precharges += 1
         self.column_ready = math.inf

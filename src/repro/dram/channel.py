@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from .timing import TimingParams
+from .timing import TimingParams, TimingTable
 
 #: Extra gap charged when the bus reverses direction (approximates
 #: tWTR / tRTW bus turnaround at DDR3-1600).
@@ -32,11 +32,15 @@ class Channel:
         self._last_was_write: Optional[bool] = None
 
     def reserve(
-        self, col_ready: float, is_write: bool, params: TimingParams
+        self, col_ready: float, is_write: bool,
+        params: "TimingParams | TimingTable",
     ) -> Tuple[float, float, float]:
         """Reserve a burst slot for a column command ready at ``col_ready``.
 
         Returns ``(column_time, data_start, data_end)`` and updates the bus.
+        ``params`` may be either a :class:`TimingParams` or the flat
+        :class:`TimingTable` the hot path uses — only tCL/tCWL/tBURST/tCCD
+        are read.
         """
         latency = params.tCWL if is_write else params.tCL
         earliest_data = self.bus_free

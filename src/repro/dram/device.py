@@ -15,7 +15,7 @@ from .address import AddressMapping, DecodedAddress
 from .bank import Bank
 from .channel import Channel
 from .rank import Rank
-from .timing import SLOW, TimingParams
+from .timing import SLOW, TimingParams, build_timing_tables
 
 #: Classifier signature: (flat_bank_index, physical_row) -> subarray class.
 RowClassifier = Callable[[int, int], str]
@@ -42,6 +42,9 @@ class DRAMDevice:
     ) -> None:
         self.geometry = geometry
         self.timings = timings
+        # One flat timing table per subarray class, shared by every bank
+        # (the tables are immutable; per-bank copies would waste cache).
+        self.tables = build_timing_tables(timings)
         self.mapping = AddressMapping(geometry)
         self.channels: List[Channel] = [
             Channel() for _ in range(geometry.channels)
@@ -64,6 +67,7 @@ class DRAMDevice:
                             self.ranks[channel_id][rank_id],
                             self.channels[channel_id],
                             subarray_of=subarray_of,
+                            tables=self.tables,
                         )
                     )
 

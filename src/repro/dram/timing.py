@@ -12,6 +12,7 @@ access on the fast level, modelled as a reduced tCL.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Dict, Mapping
 
 #: Subarray classes.
 SLOW = "slow"
@@ -80,6 +81,52 @@ def charm_fast() -> TimingParams:
     """CHARM's fast subarray: short bitlines plus optimised column access
     (reduced CAS latency on the fast level)."""
     return ddr3_1600_fast().scaled(tCL=10.0)
+
+
+class TimingTable:
+    """Precomputed, flat timing table for one subarray class.
+
+    The bank state machine consults timing parameters on every scheduled
+    request; :class:`TimingParams` is a frozen dataclass whose derived
+    values (``tRC``) are properties recomputed per read.  A table copies
+    every parameter into plain ``__slots__`` floats once per device build
+    so the hot path does attribute loads only — no property calls, no
+    arithmetic.  Values are numerically identical to the source params
+    (``tRC`` is computed once with the same ``tRAS + tRP`` expression).
+    """
+
+    __slots__ = (
+        "tCK", "tRCD", "tRP", "tRAS", "tCL", "tCWL", "tBURST", "tWR",
+        "tRTP", "tCCD", "tRRD", "tFAW", "tWTR", "tREFI", "tRFC", "tRC",
+        "params",
+    )
+
+    def __init__(self, params: TimingParams) -> None:
+        self.tCK = params.tCK
+        self.tRCD = params.tRCD
+        self.tRP = params.tRP
+        self.tRAS = params.tRAS
+        self.tCL = params.tCL
+        self.tCWL = params.tCWL
+        self.tBURST = params.tBURST
+        self.tWR = params.tWR
+        self.tRTP = params.tRTP
+        self.tCCD = params.tCCD
+        self.tRRD = params.tRRD
+        self.tFAW = params.tFAW
+        self.tWTR = params.tWTR
+        self.tREFI = params.tREFI
+        self.tRFC = params.tRFC
+        self.tRC = params.tRAS + params.tRP
+        #: The source parameters (for introspection / energy models).
+        self.params = params
+
+
+def build_timing_tables(
+    timings: Mapping[str, TimingParams],
+) -> Dict[str, TimingTable]:
+    """Precompute one :class:`TimingTable` per subarray class."""
+    return {cls: TimingTable(params) for cls, params in timings.items()}
 
 
 def migration_latency_ns(slow: TimingParams, trc_multiple: float = 3.0) -> float:

@@ -54,11 +54,71 @@ class GapModel:
         self._carry = max(-bound, min(self._carry, bound))
         return gap
 
+    def next_gaps(self, count: int) -> List[int]:
+        """Return the next ``count`` gaps.
 
-def compose(pattern: "AddressPattern", gaps: GapModel) -> Iterator[AccessTuple]:
-    """Weld an address pattern and a gap model into a full access stream."""
-    for address, is_write in pattern.stream():
-        yield (gaps.next_gap(), address, is_write)
+        Exactly the sequence ``count`` calls to :meth:`next_gap` would
+        produce (same RNG draws, same float-operation order); the loop
+        hoists the per-call invariants (mean, jitter, the carry bound).
+        """
+        mean = self.mean_gap
+        jitter = self.jitter
+        carry = self._carry
+        bound = mean + jitter + 1.0
+        neg_bound = -bound
+        out: List[int] = []
+        append = out.append
+        if jitter:
+            uniform = self._rng.uniform
+            neg_jitter = -jitter
+            for _ in range(count):
+                target = mean + carry + uniform(neg_jitter, jitter)
+                gap = int(target)
+                if gap < 0:
+                    gap = 0
+                append(gap)
+                carry = mean + carry - gap
+                if carry > bound:
+                    carry = bound
+                elif carry < neg_bound:
+                    carry = neg_bound
+        else:
+            for _ in range(count):
+                gap = int(mean + carry)
+                if gap < 0:
+                    gap = 0
+                append(gap)
+                carry = mean + carry - gap
+                if carry > bound:
+                    carry = bound
+                elif carry < neg_bound:
+                    carry = neg_bound
+        self._carry = carry
+        return out
+
+
+#: References generated per batch by :func:`compose` / ``batches()``.
+TRACE_CHUNK = 512
+
+
+def compose(pattern: "AddressPattern", gaps: GapModel,
+            chunk: int = TRACE_CHUNK) -> Iterator[AccessTuple]:
+    """Weld an address pattern and a gap model into a full access stream.
+
+    Generation is chunked: ``chunk`` address pairs are pulled from the
+    pattern, then ``chunk`` gaps from the gap model.  Because a pattern
+    and its gap model never share an RNG (each is seeded from its own
+    stream — see ``repro.trace.spec2006``), the emitted tuples are
+    identical to the historical one-reference-at-a-time interleaving
+    while amortising generator resumptions across the batch.
+    """
+    next_gaps = gaps.next_gaps
+    for pairs in pattern.batches(chunk):
+        if not pairs:
+            return
+        gap_list = next_gaps(len(pairs))
+        for (address, is_write), gap in zip(pairs, gap_list):
+            yield (gap, address, is_write)
 
 
 class AddressPattern:
@@ -67,6 +127,22 @@ class AddressPattern:
     def stream(self) -> Iterator[AddressPair]:
         """Yield an infinite stream of (address, is_write) pairs."""
         raise NotImplementedError
+
+    def batches(self, chunk: int) -> Iterator[List[AddressPair]]:
+        """Yield the stream in lists of ``chunk`` pairs.
+
+        The default realises :meth:`stream` through one persistent
+        iterator, so composite patterns (mixtures, hotspots, phases) keep
+        their exact per-item RNG interleaving.  Leaf patterns override
+        this with closed-form batch loops.
+        """
+        stream = self.stream()
+        islice = itertools.islice
+        while True:
+            batch = list(islice(stream, chunk))
+            if not batch:
+                return
+            yield batch
 
     def take(self, count: int) -> List[AddressPair]:
         """Realise the first ``count`` pairs (testing helper)."""
@@ -102,6 +178,33 @@ class SequentialStream(AddressPattern):
             offset += line
             if offset + line > size:
                 offset = 0
+
+    def batches(self, chunk: int) -> Iterator[List[AddressPair]]:
+        base, size, line = self.base, self.size, self.line_bytes
+        wf = self.write_fraction
+        rand = self._rng.random
+        wrap = size - line  # offset resets once the next line would spill
+        offset = 0
+        if wf > 0:
+            while True:
+                batch = []
+                append = batch.append
+                for _ in range(chunk):
+                    append((base + offset, rand() < wf))
+                    offset += line
+                    if offset > wrap:
+                        offset = 0
+                yield batch
+        else:
+            while True:
+                batch = []
+                append = batch.append
+                for _ in range(chunk):
+                    append((base + offset, False))
+                    offset += line
+                    if offset > wrap:
+                        offset = 0
+                yield batch
 
 
 class StridedPattern(AddressPattern):
@@ -139,6 +242,24 @@ class StridedPattern(AddressPattern):
                 lane = (lane + 64) % stride
                 offset = lane
 
+    def batches(self, chunk: int) -> Iterator[List[AddressPair]]:
+        base, size, stride = self.base, self.size, self.stride
+        wf = self.write_fraction
+        rand = self._rng.random
+        offset = 0
+        lane = 0
+        positive_wf = wf > 0
+        while True:
+            batch = []
+            append = batch.append
+            for _ in range(chunk):
+                append((base + offset, positive_wf and rand() < wf))
+                offset += stride
+                if offset >= size:
+                    lane = (lane + 64) % stride
+                    offset = lane
+            yield batch
+
 
 class UniformRandom(AddressPattern):
     """Uniformly random line-granular accesses over a region (milc-like)."""
@@ -163,11 +284,34 @@ class UniformRandom(AddressPattern):
         base, gran, granules = self.base, self.granularity, self.granules
         wf = self.write_fraction
         rng = self._rng
-        randrange = rng.randrange
         rand = rng.random
+        # ``Random._randbelow`` inlined (bit-identical getrandbits use):
+        # one C call per draw instead of randrange's Python call chain.
+        getrandbits = rng.getrandbits
+        nbits = granules.bit_length()
         while True:
-            yield (base + randrange(granules) * gran,
-                   wf > 0 and rand() < wf)
+            j = getrandbits(nbits)
+            while j >= granules:
+                j = getrandbits(nbits)
+            yield (base + j * gran, wf > 0 and rand() < wf)
+
+    def batches(self, chunk: int) -> Iterator[List[AddressPair]]:
+        base, gran, granules = self.base, self.granularity, self.granules
+        wf = self.write_fraction
+        rng = self._rng
+        rand = rng.random
+        getrandbits = rng.getrandbits
+        nbits = granules.bit_length()
+        positive_wf = wf > 0
+        while True:
+            batch = []
+            append = batch.append
+            for _ in range(chunk):
+                j = getrandbits(nbits)
+                while j >= granules:
+                    j = getrandbits(nbits)
+                append((base + j * gran, positive_wf and rand() < wf))
+            yield batch
 
 
 class HotspotPattern(AddressPattern):
@@ -235,24 +379,58 @@ class ZipfPattern(AddressPattern):
         for weight in weights:
             cumulative += weight / total
             self._cdf.append(cumulative)
-        self._block_order = list(range(num_blocks))
-        rng.shuffle(self._block_order)
+        # Fisher-Yates with the rejection sampler inlined — consumes the
+        # exact getrandbits() sequence of ``rng.shuffle`` (bit-identical)
+        # without the per-swap _randbelow call chain.
+        order = list(range(num_blocks))
+        getrandbits = rng.getrandbits
+        i = num_blocks - 1
+        while i > 0:
+            k = (i + 1).bit_length()
+            band_floor = (1 << (k - 1)) - 2
+            if band_floor < 0:
+                band_floor = 0
+            for i in range(i, band_floor, -1):
+                j = getrandbits(k)
+                while j > i:
+                    j = getrandbits(k)
+                order[i], order[j] = order[j], order[i]
+            i = band_floor
+        self._block_order = order
 
     def stream(self) -> Iterator[AddressPair]:
         rng = self._rng
         rand = rng.random
-        randrange = rng.randrange
         cdf = self._cdf
         order = self._block_order
         base, block, line = self.base, self.block_bytes, self.line_bytes
         lines_per_block = block // line
         wf = self.write_fraction
+        last = len(order) - 1
+        bisect_left = bisect.bisect_left
+        # ``Random._randbelow`` inlined (bit-identical getrandbits use).
+        getrandbits = rng.getrandbits
+        nbits = lines_per_block.bit_length()
         while True:
-            rank = bisect.bisect_left(cdf, rand())
-            if rank >= len(order):
-                rank = len(order) - 1
-            address = base + order[rank] * block + randrange(lines_per_block) * line
+            rank = bisect_left(cdf, rand())
+            if rank > last:
+                rank = last
+            j = getrandbits(nbits)
+            while j >= lines_per_block:
+                j = getrandbits(nbits)
+            address = base + order[rank] * block + j * line
             yield (address, wf > 0 and rand() < wf)
+
+
+#: Memo of Sattolo cycles keyed by (nodes, rng state at entry): the
+#: permutation and the rng state after building it are pure functions of
+#: the key, so identical PointerChase constructions (every run of an
+#: experiment graph rebuilds the same traces) share one immutable cycle.
+#: Bounded FIFO — each entry holds one successor list (a few MB at mcf
+#: footprints).  Sized so one program-lifetime build (one chase per
+#: episode) plus the episode-mode chase all stay resident.
+_SATTOLO_MEMO: dict = {}
+_SATTOLO_MEMO_CAPACITY = 8
 
 
 class PointerChase(AddressPattern):
@@ -277,13 +455,44 @@ class PointerChase(AddressPattern):
         self.granularity = granularity
         self.write_fraction = write_fraction
         self._rng = rng
+        # The permutation (and the start draw) is a pure function of
+        # (nodes, rng state), so identical rebuilds — every job of an
+        # experiment graph reconstructs the same traces — reuse the cycle
+        # and fast-forward the rng instead of re-shuffling.
+        state = rng.getstate()
+        cached = _SATTOLO_MEMO.get((nodes, state))
+        if cached is not None:
+            self._successor, self._start, post_state = cached
+            rng.setstate(post_state)
+            return
         # Sattolo's algorithm: a uniformly random single-cycle permutation.
+        # The rejection loop is ``Random._randbelow`` inlined (bit-identical
+        # getrandbits consumption): one bound method call per draw instead
+        # of randrange's three-deep Python call chain, which dominates
+        # trace construction for large footprints.  The outer loop walks
+        # power-of-two bands so the draw width is computed once per band,
+        # not once per node.  (Bulk-decoding the underlying 32-bit
+        # Mersenne-Twister words was measured slower: at mcf footprints the
+        # per-iteration interpreter overhead of the swap loop, not the
+        # draw call, is the floor.)
         successor = list(range(nodes))
-        for i in range(nodes - 1, 0, -1):
-            j = rng.randrange(i)
-            successor[i], successor[j] = successor[j], successor[i]
+        getrandbits = rng.getrandbits
+        i = nodes - 1
+        while i > 0:
+            k = i.bit_length()
+            band_floor = (1 << (k - 1)) - 1
+            for i in range(i, band_floor, -1):
+                j = getrandbits(k)
+                while j >= i:
+                    j = getrandbits(k)
+                successor[i], successor[j] = successor[j], successor[i]
+            i = band_floor
         self._successor = successor
         self._start = rng.randrange(nodes)
+        if len(_SATTOLO_MEMO) >= _SATTOLO_MEMO_CAPACITY:
+            del _SATTOLO_MEMO[next(iter(_SATTOLO_MEMO))]
+        _SATTOLO_MEMO[(nodes, state)] = (successor, self._start,
+                                         rng.getstate())
 
     def stream(self) -> Iterator[AddressPair]:
         successor = self._successor
@@ -294,6 +503,21 @@ class PointerChase(AddressPattern):
         while True:
             yield (base + node * gran, wf > 0 and rand() < wf)
             node = successor[node]
+
+    def batches(self, chunk: int) -> Iterator[List[AddressPair]]:
+        successor = self._successor
+        base, gran = self.base, self.granularity
+        wf = self.write_fraction
+        rand = self._rng.random
+        node = self._start
+        positive_wf = wf > 0
+        while True:
+            batch = []
+            append = batch.append
+            for _ in range(chunk):
+                append((base + node * gran, positive_wf and rand() < wf))
+                node = successor[node]
+            yield batch
 
 
 class OffsetPattern(AddressPattern):
@@ -313,6 +537,15 @@ class OffsetPattern(AddressPattern):
         offset = self.offset
         for address, is_write in self.inner.stream():
             yield (address + offset, is_write)
+
+    def batches(self, chunk: int) -> Iterator[List[AddressPair]]:
+        offset = self.offset
+        if offset == 0:
+            yield from self.inner.batches(chunk)
+            return
+        for batch in self.inner.batches(chunk):
+            yield [(address + offset, is_write)
+                   for address, is_write in batch]
 
 
 class PhasedPattern(AddressPattern):

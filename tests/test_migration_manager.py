@@ -149,7 +149,11 @@ class TestDASPromotion:
             system.resolve(request)
         system.flush()
         table = manager.table
-        for (flat, group), _ in list(table._groups.items()):
+        per_bank = organization.groups_per_bank
+        for index, entry in enumerate(table._groups):
+            if entry is None:
+                continue
+            flat, group = divmod(index, per_bank)
             slots = [table.slot_of(flat, group, local)
                      for local in range(organization.group_rows)]
             assert sorted(slots) == list(range(organization.group_rows))

@@ -113,7 +113,11 @@ class TestSystemInvariants:
         manager = system.manager
         organization = manager.organization
         table = manager.table
-        for (flat, group) in list(table._groups):
+        per_bank = organization.groups_per_bank
+        for index, entry in enumerate(table._groups):
+            if entry is None:
+                continue
+            flat, group = divmod(index, per_bank)
             slots = [table.slot_of(flat, group, local)
                      for local in range(organization.group_rows)]
             assert sorted(slots) == list(range(organization.group_rows))
