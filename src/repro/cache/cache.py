@@ -63,6 +63,7 @@ class Cache:
 
     @property
     def num_sets(self) -> int:
+        """Number of sets in this cache."""
         return self._num_sets
 
     def line_of(self, address: int) -> int:
@@ -156,10 +157,12 @@ class Cache:
 
     @property
     def accesses(self) -> int:
+        """Total accesses (hits plus misses)."""
         return self.hits + self.misses
 
     @property
     def miss_rate(self) -> float:
+        """Miss fraction of all accesses (0.0 when idle)."""
         total = self.accesses
         return self.misses / total if total else 0.0
 

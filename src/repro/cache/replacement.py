@@ -38,6 +38,7 @@ class LRUPolicy(ReplacementPolicy):
     name = "lru"
 
     def victim(self, set_index: int, ways: int) -> int:
+        """Choose the way to evict from this set."""
         return ways - 1
 
 
@@ -48,6 +49,7 @@ class FIFOPolicy(ReplacementPolicy):
     name = "fifo"
 
     def victim(self, set_index: int, ways: int) -> int:
+        """Choose the way to evict from this set."""
         return ways - 1
 
 
@@ -60,6 +62,7 @@ class RandomPolicy(ReplacementPolicy):
         self._rng = rng
 
     def victim(self, set_index: int, ways: int) -> int:
+        """Choose the way to evict from this set."""
         return self._rng.randrange(ways)
 
 

@@ -12,6 +12,9 @@ Examples::
     repro compare mcf:das mcf:standard   # ranked cross-run stat deltas
     repro perf check               # verify BENCH_*.json perf baselines
     repro events mcf --out t.json  # capture a Perfetto-loadable trace
+    repro validate --scale ci      # machine-check paper-fidelity claims
+    repro validate --scale full --from-snapshot validation/results_full.json
+    repro docs experiments --check # verify EXPERIMENTS.md regenerates
 """
 
 from __future__ import annotations
@@ -181,6 +184,59 @@ def _build_parser() -> argparse.ArgumentParser:
                              "are dropped (default: 65536)")
     events.add_argument("--timeline", type=int, default=0, metavar="N",
                         help="also print the first N events as text")
+
+    validate = sub.add_parser(
+        "validate",
+        help="machine-check the paper-fidelity expectations ledger")
+    validate.add_argument("--scale", default="ci", choices=["ci", "full"],
+                          help="reference-count scale to simulate at "
+                               "(default: ci; 'full' is the EXPERIMENTS.md "
+                               "regeneration scale)")
+    validate.add_argument("--only", default=None, metavar="IDS",
+                          help="comma-separated expectation and/or "
+                               "experiment ids to check")
+    validate.add_argument("--json", action="store_true", dest="as_json",
+                          help="emit the structured report as JSON")
+    validate.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                          help="pre-execute the needed simulations on N "
+                               "worker processes")
+    validate.add_argument("--no-cache", action="store_true",
+                          help="ignore and do not write the result cache")
+    validate.add_argument("--ledger", default=None, metavar="PATH",
+                          help="expectations file (default: "
+                               "validation/expectations.json)")
+    validate.add_argument("--from-snapshot", default=None, metavar="PATH",
+                          dest="from_snapshot",
+                          help="evaluate against a saved results snapshot "
+                               "instead of simulating")
+    validate.add_argument("--save-snapshot", default=None, metavar="PATH",
+                          dest="save_snapshot",
+                          help="run every experiment at --scale and save "
+                               "the results as a snapshot for "
+                               "--from-snapshot / 'repro docs'")
+    validate.add_argument("--list", action="store_true", dest="list_only",
+                          help="list the ledger's expectations and exit")
+
+    docs = sub.add_parser(
+        "docs",
+        help="regenerate generated docs from the results snapshot")
+    docs.add_argument("target", choices=["experiments", "output"],
+                      help="experiments = EXPERIMENTS.md, "
+                           "output = experiments_output.txt")
+    docs.add_argument("--snapshot", default=None, metavar="PATH",
+                      help="results snapshot (default: "
+                           "validation/results_full.json)")
+    docs.add_argument("--ledger", default=None, metavar="PATH",
+                      help="expectations file (default: "
+                           "validation/expectations.json)")
+    docs.add_argument("--write", action="store_true",
+                      help="write the rendered file in place")
+    docs.add_argument("--check", action="store_true",
+                      help="fail (exit 1) when the committed file differs "
+                           "from regeneration")
+    docs.add_argument("--out", default=None, metavar="PATH",
+                      help="target file (default: EXPERIMENTS.md / "
+                           "experiments_output.txt)")
     return parser
 
 
@@ -308,7 +364,92 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _events_command(args)
     if args.command == "bench":
         return _bench_command(args)
+    if args.command == "validate":
+        return _validate_command(args)
+    if args.command == "docs":
+        return _docs_command(args)
     raise AssertionError("unreachable")
+
+
+def _validate_command(args) -> int:
+    """Handle ``repro validate``: check the expectations ledger."""
+    import json
+    from pathlib import Path
+
+    from .validate import LedgerError, load_ledger, validate
+
+    try:
+        ledger = load_ledger(args.ledger)
+    except LedgerError as error:
+        print(f"ledger error: {error}", file=sys.stderr)
+        return 2
+    if args.list_only:
+        width = max(len(e.id) for e in ledger.expectations)
+        for expectation in ledger.expectations:
+            scales = "/".join(expectation.scales)
+            print(f"{expectation.id.ljust(width)}  "
+                  f"[{expectation.experiment}, {expectation.kind}, "
+                  f"{scales}]  {expectation.title}")
+        return 0
+    only = args.only.split(",") if args.only else None
+    try:
+        report = validate(
+            ledger, scale=args.scale, only=only,
+            use_cache=not args.no_cache, jobs=args.jobs,
+            snapshot=(Path(args.from_snapshot)
+                      if args.from_snapshot else None),
+            snapshot_out=(Path(args.save_snapshot)
+                          if args.save_snapshot else None))
+    except (KeyError, ValueError, OSError) as error:
+        message = error.args[0] if error.args else error
+        print(f"validate: {message}", file=sys.stderr)
+        return 2
+    if args.save_snapshot:
+        print(f"snapshot -> {args.save_snapshot}", file=sys.stderr)
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def _docs_command(args) -> int:
+    """Handle ``repro docs``: render / verify the generated docs."""
+    from pathlib import Path
+
+    from .validate import LedgerError, load_ledger
+    from .validate.docs import (
+        check_rendered,
+        render_experiments_md,
+        render_output_txt,
+    )
+    from .validate.engine import DEFAULT_SNAPSHOT_PATH
+
+    snapshot = Path(args.snapshot) if args.snapshot else DEFAULT_SNAPSHOT_PATH
+    try:
+        if args.target == "experiments":
+            rendered = render_experiments_md(snapshot, load_ledger(args.ledger))
+            default_out = "EXPERIMENTS.md"
+        else:
+            rendered = render_output_txt(snapshot)
+            default_out = "experiments_output.txt"
+    except (LedgerError, ValueError, OSError) as error:
+        print(f"docs: {error}", file=sys.stderr)
+        return 2
+    out_path = Path(args.out) if args.out else Path(default_out)
+    if args.check:
+        message = check_rendered(rendered, out_path)
+        if message is not None:
+            print(f"docs drift: {message}", file=sys.stderr)
+            return 1
+        print(f"{out_path} matches regeneration")
+        return 0
+    if args.write:
+        out_path.write_text(rendered)
+        print(f"wrote {out_path}", file=sys.stderr)
+        return 0
+    print(rendered, end="")
+    return 0
 
 
 def _bench_command(args) -> int:

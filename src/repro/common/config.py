@@ -112,18 +112,22 @@ class DRAMGeometry:
 
     @property
     def total_banks(self) -> int:
+        """Banks across every channel and rank."""
         return self.channels * self.ranks_per_channel * self.banks_per_rank
 
     @property
     def total_rows(self) -> int:
+        """DRAM rows across every bank."""
         return self.total_banks * self.rows_per_bank
 
     @property
     def capacity_bytes(self) -> int:
+        """Total DRAM capacity in bytes."""
         return self.total_rows * self.row_bytes
 
     @property
     def lines_per_row(self) -> int:
+        """Cache lines stored per DRAM row."""
         return self.row_bytes // self.line_bytes
 
 

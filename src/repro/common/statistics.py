@@ -24,6 +24,7 @@ class Counter:
         self.value += amount
 
     def reset(self) -> None:
+        """Reset the counter to zero."""
         self.value = 0
 
     def __repr__(self) -> str:
@@ -74,6 +75,7 @@ class Accumulator:
         self.max = -math.inf
 
     def as_dict(self) -> Dict[str, float]:
+        """JSON-safe dictionary form."""
         return {
             "count": self.count,
             "sum": self.total,

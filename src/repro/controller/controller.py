@@ -456,10 +456,12 @@ class MemorySystem:
 
     @property
     def demand_accesses(self) -> int:
+        """Demand (non-migration) accesses seen by the controller."""
         return self.reads + self.writes
 
     @property
     def mean_read_latency_ns(self) -> float:
+        """Mean demand-read latency in nanoseconds."""
         return self.read_latency_sum / self.read_count if self.read_count else 0.0
 
     def read_latency_percentile(self, fraction: float) -> float:

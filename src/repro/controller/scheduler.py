@@ -83,6 +83,7 @@ class FCFSScheduler:
         self.window = window
 
     def pick(self, ready: Sequence[Request], now: float) -> Request:
+        """Choose the next request to issue (oldest first)."""
         if not ready:
             raise ValueError("pick() requires a non-empty ready list")
         return min(ready, key=_BY_ARRIVAL)

@@ -77,6 +77,7 @@ class InclusiveManager(ManagementPolicy):
 
     def translate(self, logical_row: int, flat_bank: int, row: int,
                   is_write: bool, now: float) -> Translation:
+        """Map a logical row to its current physical location."""
         org = self.organization
         group = row // org.group_rows
         local = row % org.group_rows
@@ -95,6 +96,7 @@ class InclusiveManager(ManagementPolicy):
 
     def on_scheduled(self, request: Request, op: BankOp,
                      controller: MemorySystem) -> None:
+        """Observe one scheduled DRAM access; may start a promotion."""
         if op.subarray_class != SLOW:
             self.fast_level_accesses += 1
             return
@@ -156,6 +158,7 @@ class InclusiveManager(ManagementPolicy):
         return group
 
     def reset_stats(self) -> None:
+        """Zero the per-run statistics counters."""
         self.promotions = 0
         self.clean_fills = 0
         self.dirty_swaps = 0

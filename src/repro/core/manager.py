@@ -89,6 +89,7 @@ class DASManager(ManagementPolicy):
 
     def translate(self, logical_row: int, flat_bank: int, row: int,
                   is_write: bool, now: float) -> Translation:
+        """Map a logical row to its current physical location."""
         group_rows = self._group_rows
         group = row // group_rows
         local = row - group * group_rows
@@ -130,6 +131,7 @@ class DASManager(ManagementPolicy):
 
     def on_scheduled(self, request: Request, op: BankOp,
                      controller: MemorySystem) -> None:
+        """Observe one scheduled DRAM access; may start a promotion."""
         if op.subarray_class != SLOW:
             self._fast_accesses.value += 1
             return
@@ -171,6 +173,7 @@ class DASManager(ManagementPolicy):
         self.promotion.forget(logical_row)
 
         def commit() -> None:
+            """Apply the swap bookkeeping once the engine finishes."""
             self._inflight_promotions.discard(logical_row)
             if self.table.slot_of(flat_bank, group, local) < org.fast_per_group:
                 return  # Already fast (another path promoted it).
@@ -209,18 +212,22 @@ class DASManager(ManagementPolicy):
 
     @property
     def promotions(self) -> int:
+        """Completed promotions so far."""
         return self.engine.promotions
 
     @property
     def slow_level_accesses(self) -> int:
+        """Accesses served from the slow level."""
         return self._slow_accesses.value
 
     @property
     def fast_level_accesses(self) -> int:
+        """Accesses served from the fast level."""
         return self._fast_accesses.value
 
     @property
     def table_fetches(self) -> int:
+        """Translation-table fetches issued to DRAM."""
         return self._table_fetches.value
 
     def stats_group(self) -> StatGroup:
@@ -240,6 +247,7 @@ class DASManager(ManagementPolicy):
         # One recursive reset replaces the old per-component bookkeeping:
         # the translation cache, LLC partition, migration engine and
         # promotion policy groups are all children of self.stats.
+        """Zero the per-run statistics counters."""
         self.stats.reset()
 
 
@@ -287,6 +295,7 @@ class StaticAsymmetricManager(ManagementPolicy):
 
     def translate(self, logical_row: int, flat_bank: int, row: int,
                   is_write: bool, now: float) -> Translation:
+        """Map a logical row to its current physical location."""
         org = self.organization
         group_rows = org.group_rows
         group = row // group_rows
@@ -303,6 +312,7 @@ class StaticAsymmetricManager(ManagementPolicy):
 
     def on_scheduled(self, request: Request, op: BankOp,
                      controller: MemorySystem) -> None:
+        """Observe one scheduled DRAM access; may start a promotion."""
         if op.subarray_class == SLOW:
             self._slow_accesses.value += 1
         else:
@@ -310,20 +320,25 @@ class StaticAsymmetricManager(ManagementPolicy):
 
     @property
     def promotions(self) -> int:
+        """Completed promotions so far."""
         return 0
 
     @property
     def slow_level_accesses(self) -> int:
+        """Accesses served from the slow level."""
         return self._slow_accesses.value
 
     @property
     def fast_level_accesses(self) -> int:
+        """Accesses served from the fast level."""
         return self._fast_accesses.value
 
     def stats_group(self) -> StatGroup:
+        """This component's nested stats-tree group."""
         self.stats.set_scalar("materialized_groups",
                               float(self.table.materialized_groups()))
         return self.stats
 
     def reset_stats(self) -> None:
+        """Zero the per-run statistics counters."""
         self.stats.reset()

@@ -47,6 +47,7 @@ class MigrationEngine:
 
     @property
     def is_free(self) -> bool:
+        """True while no migration is in flight."""
         return self.swap_latency_ns == 0.0
 
     def swap(self, controller: MemorySystem, flat_bank: int,
@@ -90,15 +91,19 @@ class MigrationEngine:
 
     @property
     def promotions(self) -> int:
+        """Completed promotions so far."""
         return self._promotions.value
 
     @property
     def dropped(self) -> int:
+        """Promotions dropped because the engine was busy."""
         return self._dropped.value
 
     @property
     def busy_time_ns(self) -> float:
+        """Total time spent migrating, in nanoseconds."""
         return self._busy.total
 
     def reset_stats(self) -> None:
+        """Zero the per-run statistics counters."""
         self.stats.reset()

@@ -110,6 +110,7 @@ class PowerDownController:
         return (flat_bank, group) in self._gated
 
     def gated_groups(self) -> int:
+        """Number of currently power-gated migration groups."""
         return len(self._gated)
 
     def background_power_saving_fraction(self) -> float:

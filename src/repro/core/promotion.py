@@ -20,6 +20,7 @@ class PromotionPolicy:
         self.stats = StatGroup("promotion")
 
     def should_promote(self, logical_row: int) -> bool:
+        """Decide whether this access promotes its row."""
         raise NotImplementedError
 
     def forget(self, logical_row: int) -> None:
@@ -40,6 +41,7 @@ class AlwaysPromote(PromotionPolicy):
     name = "always"
 
     def should_promote(self, logical_row: int) -> bool:
+        """Decide whether this access promotes its row."""
         return True
 
 
@@ -63,6 +65,7 @@ class ThresholdFilter(PromotionPolicy):
         self._counter_evictions = self.stats.counter("counter_evictions")
 
     def should_promote(self, logical_row: int) -> bool:
+        """Decide whether this access promotes its row."""
         if self.threshold == 1:
             self._triggered.add()
             return True
@@ -81,6 +84,7 @@ class ThresholdFilter(PromotionPolicy):
         return False
 
     def forget(self, logical_row: int) -> None:
+        """Drop tracked filter state for one row."""
         self._counts.pop(logical_row, None)
 
 

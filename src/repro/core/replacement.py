@@ -40,6 +40,7 @@ class LRUReplacement(FastLevelReplacement):
         return order
 
     def touch(self, flat_bank: int, group: int, slot: int) -> None:
+        """Mark a fast-level row as most recently used."""
         key = (flat_bank, group)
         order = self._recency.get(key)
         if order is None:
@@ -52,6 +53,7 @@ class LRUReplacement(FastLevelReplacement):
             order.append(slot)
 
     def victim(self, flat_bank: int, group: int, fast_slots: int) -> int:
+        """Choose the fast-level row to demote."""
         order = self._order((flat_bank, group), fast_slots)
         slot = order.pop(0)
         order.append(slot)
@@ -67,6 +69,7 @@ class RandomReplacement(FastLevelReplacement):
         self._rng = rng
 
     def victim(self, flat_bank: int, group: int, fast_slots: int) -> int:
+        """Choose the fast-level row to demote."""
         return self._rng.randrange(fast_slots)
 
 
@@ -79,6 +82,7 @@ class SequentialReplacement(FastLevelReplacement):
         self._pointers: Dict[Tuple[int, int], int] = {}
 
     def victim(self, flat_bank: int, group: int, fast_slots: int) -> int:
+        """Choose the fast-level row to demote."""
         key = (flat_bank, group)
         pointer = self._pointers.get(key, 0) % fast_slots
         self._pointers[key] = pointer + 1
@@ -95,6 +99,7 @@ class GlobalCounterReplacement(FastLevelReplacement):
         self._counter = 0
 
     def victim(self, flat_bank: int, group: int, fast_slots: int) -> int:
+        """Choose the fast-level row to demote."""
         slot = self._counter % fast_slots
         self._counter += 1
         return slot

@@ -139,18 +139,22 @@ class TranslationCache:
 
     @property
     def hits(self) -> int:
+        """Number of lookup hits."""
         return self._hits.value
 
     @property
     def misses(self) -> int:
+        """Number of lookup misses."""
         return self._misses.value
 
     @property
     def hit_rate(self) -> float:
+        """Hit fraction of all lookups (0.0 when idle)."""
         total = self._hits.value + self._misses.value
         return self._hits.value / total if total else 0.0
 
     def reset_stats(self) -> None:
+        """Zero the per-run statistics counters."""
         self.stats.reset()
 
 
@@ -207,11 +211,14 @@ class LLCTranslationPartition:
 
     @property
     def hits(self) -> int:
+        """Number of lookup hits."""
         return self._hits.value
 
     @property
     def misses(self) -> int:
+        """Number of lookup misses."""
         return self._misses.value
 
     def reset_stats(self) -> None:
+        """Zero the per-run statistics counters."""
         self.stats.reset()

@@ -295,6 +295,7 @@ class Core:
         return self.finish_time_ns() - self.measure_start_ns
 
     def measured_instructions(self) -> int:
+        """Instructions retired after the warmup window."""
         return self.instructions - self.measure_start_instructions
 
     def ipc(self) -> float:

@@ -135,7 +135,9 @@ class MultiCoreSimulator:
         return [core.measured_time_ns() for core in self.cores]
 
     def per_core_ipc(self) -> List[float]:
+        """Measured IPC of each core."""
         return [core.ipc() for core in self.cores]
 
     def total_instructions(self) -> int:
+        """Instructions retired across all cores."""
         return sum(core.measured_instructions() for core in self.cores)

@@ -62,9 +62,11 @@ class ValidationReport:
 
     @property
     def passed(self) -> bool:
+        """True when every check held."""
         return all(self.checks.values())
 
     def failures(self):
+        """The checks that did not hold."""
         return [name for name, ok in self.checks.items() if not ok]
 
 

@@ -25,6 +25,7 @@ def homogeneous_classifier(subarray_class: str) -> RowClassifier:
     """Classifier for a homogeneous device (standard or FS DRAM)."""
 
     def classify(_flat_bank: int, _row: int) -> str:
+        """Latency class of a physical row."""
         return subarray_class
 
     return classify

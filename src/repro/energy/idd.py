@@ -56,10 +56,12 @@ class PowerBreakdown:
 
     @property
     def total_mw(self) -> float:
+        """Total power across components, in mW."""
         return (self.activate_mw + self.read_mw + self.write_mw
                 + self.refresh_mw + self.background_mw)
 
     def as_dict(self) -> Dict[str, float]:
+        """JSON-safe dictionary form."""
         return {
             "activate_mw": self.activate_mw,
             "read_mw": self.read_mw,

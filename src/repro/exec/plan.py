@@ -82,6 +82,7 @@ class JobGraph:
         return True
 
     def add_all(self, specs: Iterable[RunSpec]) -> None:
+        """Add many specs, deduplicating against existing keys."""
         for spec in specs:
             self.add(spec)
 
@@ -92,6 +93,7 @@ class JobGraph:
 
     @property
     def keys(self) -> List[str]:
+        """The unique run keys, in insertion order."""
         return list(self._by_key)
 
     def __len__(self) -> int:

@@ -103,10 +103,12 @@ class ExecutionReport:
 
     @property
     def done(self) -> int:
+        """Jobs finished so far (success or failure)."""
         return self.cache_hits + self.executed
 
     @property
     def runs_per_sec(self) -> float:
+        """Completed simulations per wall-clock second."""
         if self.elapsed_s <= 0:
             return 0.0
         return self.executed / self.elapsed_s

@@ -32,9 +32,11 @@ class NullProgress:
 
     def update(self, done: int, total: int, cache_hits: int,
                executed: int, failures: int = 0) -> None:
+        """Render progress after one completed job."""
         pass
 
     def finish(self) -> None:
+        """Close out the progress display."""
         pass
 
 
@@ -57,6 +59,7 @@ class ProgressLine(NullProgress):
 
     def update(self, done: int, total: int, cache_hits: int,
                executed: int, failures: int = 0) -> None:
+        """Render progress after one completed job."""
         if not self.enabled:
             return
         now = time.monotonic()
@@ -85,6 +88,7 @@ class ProgressLine(NullProgress):
         self._dirty = False
 
     def finish(self) -> None:
+        """Close out the progress display."""
         if self.enabled and self._width:
             self.stream.write("\n")
             self.stream.flush()

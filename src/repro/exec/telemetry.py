@@ -45,15 +45,18 @@ class JsonlLog:
     # ------------------------------------------------------------------
 
     def cache_hit(self, key: str, spec: str) -> None:
+        """Record one cache-hit event."""
         self.event("cache_hit", key=key, spec=spec)
 
     def run(self, key: str, spec: str, wall_s: float, worker: int,
             attempt: int) -> None:
+        """Record one completed simulation event."""
         self.event("run", key=key, spec=spec, wall_s=round(wall_s, 4),
                    worker=worker, attempt=attempt)
 
     def failure(self, key: str, spec: str, reason: str, attempt: int,
                 will_retry: bool) -> None:
+        """Record one worker-failure event."""
         self.event("failure", key=key, spec=spec, reason=reason,
                    attempt=attempt, will_retry=will_retry)
 
@@ -83,6 +86,7 @@ class JsonlLog:
         )
 
     def close(self) -> None:
+        """Flush and close the log stream."""
         if self._own:
             self._stream.close()
 

@@ -53,6 +53,7 @@ def _migration_asym(multiple: float) -> AsymmetricConfig:
 def migration_latency_sweep_plan(
         references: Optional[int] = None,
         workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Pre-planned RunSpecs of this experiment, for the parallel executor."""
     refs = references or SINGLE_REFS
     specs: List[RunSpec] = []
     for workload in workloads or MIGRATION_SENSITIVE:
@@ -66,6 +67,7 @@ def migration_latency_sweep_plan(
 def seed_stability_plan(references: Optional[int] = None,
                         workloads: Optional[List[str]] = None,
                         seeds: int = 4) -> List[RunSpec]:
+    """Pre-planned RunSpecs of this experiment, for the parallel executor."""
     refs = references or SINGLE_REFS
     return [RunSpec(workload, design, refs, seed=seed)
             for workload in workloads or SEED_STABILITY_WORKLOADS
@@ -76,6 +78,7 @@ def seed_stability_plan(references: Optional[int] = None,
 def controller_policy_ablation_plan(
         references: Optional[int] = None,
         workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Pre-planned RunSpecs of this experiment, for the parallel executor."""
     refs = references or SINGLE_REFS
     return [RunSpec(workload, design, refs, controller=controller)
             for workload in workloads or CONTROLLER_WORKLOADS
@@ -86,6 +89,7 @@ def controller_policy_ablation_plan(
 def inclusive_vs_exclusive_plan(
         references: Optional[int] = None,
         workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Pre-planned RunSpecs of this experiment, for the parallel executor."""
     refs = references or SINGLE_REFS
     return [RunSpec(workload, design, refs)
             for workload in workloads or benchmark_names()
@@ -95,6 +99,7 @@ def inclusive_vs_exclusive_plan(
 def replacement_policy_ablation_plan(
         references: Optional[int] = None,
         workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Pre-planned RunSpecs of this experiment, for the parallel executor."""
     refs = references or SINGLE_REFS
     specs: List[RunSpec] = []
     for workload in workloads or benchmark_names():

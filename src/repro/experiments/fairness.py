@@ -37,6 +37,7 @@ FAIRNESS_MIXES = ("M1", "M5", "M8")
 def fairness_study_plan(references: Optional[int] = None,
                         workloads: Optional[List[str]] = None,
                         seed: int = 1) -> List[RunSpec]:
+    """Pre-planned RunSpecs of this experiment, for the parallel executor."""
     refs = references or MIX_REFS
     specs: List[RunSpec] = []
     for mix in workloads or FAIRNESS_MIXES:

@@ -39,6 +39,7 @@ def _design_specs(workloads: List[str], references: int,
 
 def fig7a_plan(references: Optional[int] = None,
                workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Pre-planned RunSpecs of this experiment, for the parallel executor."""
     return _design_specs(workloads or benchmark_names(),
                          references or SINGLE_REFS,
                          ("standard", *DESIGNS))
@@ -46,30 +47,35 @@ def fig7a_plan(references: Optional[int] = None,
 
 def fig7b_plan(references: Optional[int] = None,
                workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Pre-planned RunSpecs of this experiment, for the parallel executor."""
     return _design_specs(workloads or benchmark_names(),
                          references or SINGLE_REFS, ("das",))
 
 
 def fig7c_plan(references: Optional[int] = None,
                workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Pre-planned RunSpecs of this experiment, for the parallel executor."""
     return _design_specs(workloads or benchmark_names(),
                          references or SINGLE_REFS, ("charm", "das"))
 
 
 def fig7d_plan(references: Optional[int] = None,
                workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Pre-planned RunSpecs of this experiment, for the parallel executor."""
     return _design_specs(workloads or mix_names(),
                          references or MIX_REFS, ("standard", *DESIGNS))
 
 
 def fig7e_plan(references: Optional[int] = None,
                workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Pre-planned RunSpecs of this experiment, for the parallel executor."""
     return _design_specs(workloads or mix_names(),
                          references or MIX_REFS, ("das",))
 
 
 def fig7f_plan(references: Optional[int] = None,
                workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Pre-planned RunSpecs of this experiment, for the parallel executor."""
     return _design_specs(workloads or mix_names(),
                          references or MIX_REFS, ("charm", "das"))
 

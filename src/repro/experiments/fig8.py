@@ -40,11 +40,13 @@ def _threshold_specs(references: Optional[int], workloads: Optional[List[str]],
 
 def fig8a_plan(references: Optional[int] = None,
                workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Pre-planned RunSpecs of this experiment, for the parallel executor."""
     return _threshold_specs(references, workloads, with_baseline=True)
 
 
 def fig8b_plan(references: Optional[int] = None,
                workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Pre-planned RunSpecs of this experiment, for the parallel executor."""
     return _threshold_specs(references, workloads, with_baseline=False)
 
 

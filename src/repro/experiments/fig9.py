@@ -64,21 +64,25 @@ def _variant_specs(variants: List[tuple], references: Optional[int],
 
 def fig9a_plan(references: Optional[int] = None,
                workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Pre-planned RunSpecs of this experiment, for the parallel executor."""
     return _variant_specs(_tc_variants(), references, workloads)
 
 
 def fig9b_plan(references: Optional[int] = None,
                workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Pre-planned RunSpecs of this experiment, for the parallel executor."""
     return _variant_specs(_group_variants(), references, workloads)
 
 
 def fig9c_plan(references: Optional[int] = None,
                workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Pre-planned RunSpecs of this experiment, for the parallel executor."""
     return _variant_specs(_ratio_variants("random"), references, workloads)
 
 
 def fig9d_plan(references: Optional[int] = None,
                workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Pre-planned RunSpecs of this experiment, for the parallel executor."""
     return _variant_specs(_ratio_variants("lru"), references, workloads)
 
 

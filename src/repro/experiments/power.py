@@ -23,6 +23,7 @@ POWER_DESIGNS = ("standard", "charm", "das", "fs")
 
 def power_study_plan(references: Optional[int] = None,
                      workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Pre-planned RunSpecs of this experiment, for the parallel executor."""
     refs = references or SINGLE_REFS
     return [RunSpec(workload, design, refs)
             for workload in workloads or benchmark_names()

@@ -3,12 +3,51 @@
 Every experiment harness returns an :class:`ExperimentResult`: an ordered
 table of rows plus metadata, renderable as aligned text and exportable as
 a dictionary.  The same rows the paper plots appear here as columns.
+
+Results are *structured first*: numeric cells and named :class:`Fact`
+values are stored unformatted, and every consumer — the text renderer,
+the JSON export, the bar charts and the paper-fidelity validator
+(:mod:`repro.validate`) — derives its view from the same data.  The
+dictionary form round-trips through :meth:`ExperimentResult.to_dict` /
+:meth:`ExperimentResult.from_dict`, which is what lets a committed
+results snapshot stand in for a live run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class Fact:
+    """One named scalar a harness measured or derived.
+
+    Facts carry table cells that are prose in the rendered view (e.g.
+    Table 1's timing parameters or the computed area overhead) in a form
+    the validator can check: a float ``value`` with an optional ``unit``
+    and the ``paper`` value it reproduces.
+    """
+
+    name: str
+    value: float
+    unit: str = ""
+    paper: Optional[float] = None
+    note: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-safe)."""
+        return {"name": self.name, "value": self.value, "unit": self.unit,
+                "paper": self.paper, "note": self.note}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Fact":
+        """Rebuild a fact from :meth:`to_dict` output."""
+        return cls(name=str(data["name"]), value=float(data["value"]),
+                   unit=str(data.get("unit", "")),
+                   paper=(None if data.get("paper") is None
+                          else float(data["paper"])),
+                   note=str(data.get("note", "")))
 
 
 @dataclass
@@ -20,6 +59,7 @@ class ExperimentResult:
     columns: List[str]
     rows: List[Dict[str, object]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    facts: Dict[str, Fact] = field(default_factory=dict)
 
     def add_row(self, **values: object) -> None:
         """Append a row (keys must match ``columns``)."""
@@ -27,6 +67,17 @@ class ExperimentResult:
         if unknown:
             raise KeyError(f"row has unknown columns: {sorted(unknown)}")
         self.rows.append(values)
+
+    def add_fact(self, name: str, value: float, unit: str = "",
+                 paper: Optional[float] = None, note: str = "") -> Fact:
+        """Record a named scalar fact; returns the stored :class:`Fact`."""
+        fact = Fact(name, value, unit, paper, note)
+        self.facts[name] = fact
+        return fact
+
+    def fact_value(self, name: str) -> float:
+        """The numeric value of one fact (KeyError when absent)."""
+        return self.facts[name].value
 
     def column(self, name: str) -> List[object]:
         """All values of one column, in row order."""
@@ -71,13 +122,35 @@ class ExperimentResult:
         return str(value)
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dictionary form (see :meth:`from_dict`)."""
         return {
             "experiment_id": self.experiment_id,
             "title": self.title,
             "columns": list(self.columns),
             "rows": [dict(r) for r in self.rows],
             "notes": list(self.notes),
+            "facts": {name: fact.to_dict()
+                      for name, fact in self.facts.items()},
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        This is the contract the committed full-scale results snapshot
+        (``validation/results_full.json``) relies on: a deserialised
+        result is indistinguishable from a live one to the renderer and
+        the validator.
+        """
+        return cls(
+            experiment_id=str(data["experiment_id"]),
+            title=str(data["title"]),
+            columns=list(data["columns"]),
+            rows=[dict(row) for row in data.get("rows", [])],
+            notes=list(data.get("notes", [])),
+            facts={str(name): Fact.from_dict(fact)
+                   for name, fact in (data.get("facts") or {}).items()},
+        )
 
 
 def render_bar(value: float, scale: float = 1.0, width: int = 40) -> str:

@@ -4,6 +4,12 @@ Table 1 prints the system configuration actually used by the simulator
 (with the paper's unscaled values alongside); Table 2 prints the workload
 roster.  Both act as consistency checks: the rows come from the config
 objects and workload registries, not from hard-coded strings.
+
+Every checkable scalar of Table 1 (timing parameters, fast-level ratio,
+migration latency, computed area overhead) is recorded as a structured
+:class:`repro.experiments.report.Fact` *before* any display string is
+built, so the paper-fidelity validator (:mod:`repro.validate`) checks the
+same values the rendered table shows.
 """
 
 from __future__ import annotations
@@ -25,6 +31,31 @@ def table1() -> ExperimentResult:
     organization = AsymmetricOrganization(config.geometry, config.asym)
     result = ExperimentResult(
         "table1", "System configuration", ["component", "value"])
+
+    # Structured facts first: the validator and the rendered rows below
+    # both read these, so they cannot drift apart.
+    asym = config.asym
+    geometry = config.geometry
+    trcd_fast = result.add_fact("trcd_fast_ns", fast.tRCD, "ns", paper=8.75)
+    trcd_slow = result.add_fact("trcd_slow_ns", slow.tRCD, "ns", paper=13.75)
+    trc_fast = result.add_fact("trc_fast_ns", fast.tRC, "ns", paper=25.0)
+    trc_slow = result.add_fact("trc_slow_ns", slow.tRC, "ns", paper=48.75)
+    migration = result.add_fact("migration_latency_ns",
+                                asym.migration_latency_ns, "ns",
+                                paper=146.25, note="3 tRC swap")
+    ratio = result.add_fact("fast_ratio_denominator",
+                            round(1 / asym.fast_ratio), paper=8,
+                            note="fast level is 1/N of capacity")
+    group = result.add_fact("migration_group_rows",
+                            asym.migration_group_rows, "rows", paper=32)
+    area = result.add_fact("area_overhead_pct",
+                           organization.area_overhead_fraction() * 100,
+                           "%", paper=6.6,
+                           note="computed from the organization model")
+    result.add_fact("channels", geometry.channels, paper=2)
+    result.add_fact("capacity_mib", geometry.capacity_bytes / (1 << 20),
+                    "MiB", note="paper: 8 GiB at 1/32 scale")
+
     core = config.core
     result.add_row(component="Processor",
                    value=f"{core.frequency_ghz:g} GHz, "
@@ -46,24 +77,24 @@ def table1() -> ExperimentResult:
                    value=f"{controller.queue_entries}-entry queue, "
                          f"{controller.page_policy}-page, "
                          f"{controller.scheduler.upper()}")
-    geometry = config.geometry
     result.add_row(component="DRAM",
                    value=(f"{format_bytes(geometry.capacity_bytes)} total "
                           f"(paper: 8 GiB at 1/32 scale), "
                           f"{geometry.channels} channels, "
                           f"{geometry.ranks_per_channel} ranks/channel, "
                           f"{geometry.banks_per_rank} banks/rank, "
-                          f"tRCD {slow.tRCD} ns, tRC {slow.tRC} ns"))
-    asym = config.asym
+                          f"tRCD {trcd_slow.value} ns, "
+                          f"tRC {trc_slow.value} ns"))
     result.add_row(component="Asym. DRAM",
-                   value=(f"fast-level ratio 1/{round(1 / asym.fast_ratio)}, "
-                          f"migration group {asym.migration_group_rows} rows, "
-                          f"migration latency {asym.migration_latency_ns} ns, "
-                          f"tRCD {fast.tRCD}/{slow.tRCD} ns (fast/slow), "
-                          f"tRC {fast.tRC}/{slow.tRC} ns"))
+                   value=(f"fast-level ratio 1/{ratio.value:g}, "
+                          f"migration group {group.value:g} rows, "
+                          f"migration latency {migration.value} ns, "
+                          f"tRCD {trcd_fast.value}/{trcd_slow.value} ns "
+                          f"(fast/slow), "
+                          f"tRC {trc_fast.value}/{trc_slow.value} ns"))
     result.add_row(component="Area overhead",
-                   value=(f"{organization.area_overhead_fraction() * 100:.1f}%"
-                          f" (paper: 6.6% for ratio 1/8)"))
+                   value=(f"{area.value:.1f}%"
+                          f" (paper: {area.paper}% for ratio 1/8)"))
     return result
 
 
@@ -87,4 +118,6 @@ def table2() -> ExperimentResult:
             **{"members / input": ", ".join(MIXES[mix]),
                "pattern class": "4-core mix"},
         )
+    result.add_fact("single_benchmarks", len(benchmark_names()), paper=10)
+    result.add_fact("mixes", len(mix_names()), paper=8)
     return result

@@ -11,6 +11,8 @@ Built on :mod:`repro.common.statistics`:
 * :mod:`repro.obs.capture` — traced, uncached simulation runs;
 * :mod:`repro.obs.compare` — recursive cross-run stats/timeline diffing
   (``repro compare``);
+* :mod:`repro.obs.render` — shared aligned-table/number formatting used
+  by the compare and validation reports;
 * :mod:`repro.obs.perf` — perf-regression baselines (``repro perf``).
 
 Executor telemetry (structured JSON-lines run logs) lives next to the
@@ -25,6 +27,7 @@ from .compare import (
     render_stat_diff,
     render_timeline_diff,
 )
+from .render import aligned_table, format_number
 from .stats import build_stats_tree, render_stats
 from .timeline import (
     TimelineSampler,
@@ -47,7 +50,9 @@ __all__ = [
     "MIGRATION_TID",
     "EXEC_TID",
     "TimelineSampler",
+    "aligned_table",
     "build_stats_tree",
+    "format_number",
     "compare_runs",
     "diff_stats",
     "flatten_stats",

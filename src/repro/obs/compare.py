@@ -17,6 +17,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .render import aligned_table, format_number as _fmt
+
 
 @dataclass
 class StatDelta:
@@ -28,6 +30,7 @@ class StatDelta:
 
     @property
     def abs_delta(self) -> float:
+        """Magnitude of the relative delta."""
         return self.b - self.a
 
     @property
@@ -123,12 +126,6 @@ def render_stat_diff(deltas: Sequence[StatDelta],
     return "\n".join(lines)
 
 
-def _fmt(value: float) -> str:
-    if value == int(value) and abs(value) < 1e15:
-        return str(int(value))
-    return f"{value:.6g}"
-
-
 #: Timeline series compared by :func:`render_timeline_diff`.
 _TIMELINE_DIFF_SERIES = (
     "ipc",
@@ -186,10 +183,9 @@ def compare_headline(metrics_a, metrics_b,
          metrics_b.translation_cache_hit_rate),
         ("total_time_ns", metrics_a.total_time_ns, metrics_b.total_time_ns),
     ]
-    width = max(len(name) for name, _a, _b in rows)
-    lines = [f"  {'metric'.ljust(width)}  {label_a:>14}  {label_b:>14}"]
-    for name, a, b in rows:
-        lines.append(f"  {name.ljust(width)}  {_fmt(a):>14}  {_fmt(b):>14}")
+    lines = aligned_table(
+        ["metric", label_a, label_b],
+        [[name, _fmt(a), _fmt(b)] for name, a, b in rows])
     if len(metrics_a.time_ns) == len(metrics_b.time_ns) \
             and all(t > 0 for t in metrics_a.time_ns) \
             and all(t > 0 for t in metrics_b.time_ns):

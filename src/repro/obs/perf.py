@@ -70,6 +70,7 @@ def _workload_counters(metrics) -> Dict[str, float]:
 
 def _single_scenario(design: str) -> Callable[[], Dict[str, float]]:
     def run() -> Dict[str, float]:
+        """Execute the scenario once and return its metrics."""
         metrics = run_workload("libquantum", design,
                                references=_perf_refs(), use_cache=False)
         return _workload_counters(metrics)
@@ -78,6 +79,7 @@ def _single_scenario(design: str) -> Callable[[], Dict[str, float]]:
 
 def _mix_scenario(mix: str) -> Callable[[], Dict[str, float]]:
     def run() -> Dict[str, float]:
+        """Execute the scenario once and return its metrics."""
         metrics = run_workload(mix, "das", references=_perf_mix_refs(),
                                use_cache=False)
         return _workload_counters(metrics)
@@ -129,6 +131,7 @@ class PerfFinding:
 
 
 def baseline_path(directory: Path, name: str) -> Path:
+    """On-disk path of one scenario's baseline JSON."""
     return Path(directory) / f"BENCH_{name}.json"
 
 

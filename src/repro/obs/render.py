@@ -1,0 +1,38 @@
+"""Shared plain-text report rendering primitives.
+
+``repro compare`` (:mod:`repro.obs.compare`) and ``repro validate``
+(:mod:`repro.validate.engine`) both print aligned, terminal-friendly
+reports; this module holds the formatting primitives they share so the
+two report families stay visually consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_number(value: float) -> str:
+    """Compact numeric formatting: integers bare, floats to 6 sig figs."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def aligned_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                  indent: str = "  ") -> List[str]:
+    """Column-aligned text lines: header, then one line per row.
+
+    The first column is left-justified (labels), the rest are
+    right-justified (numbers).  Returns lines so callers can interleave
+    them with their own sections.
+    """
+    table = [list(headers)] + [list(row) for row in rows]
+    widths = [max(len(line[i]) for line in table)
+              for i in range(len(headers))]
+    lines = []
+    for line in table:
+        cells = [line[0].ljust(widths[0])]
+        cells.extend(cell.rjust(width)
+                     for cell, width in zip(line[1:], widths[1:]))
+        lines.append(indent + "  ".join(cells).rstrip())
+    return lines

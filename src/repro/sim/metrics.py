@@ -83,6 +83,7 @@ class RunMetrics:
 
     @property
     def dynamic_energy_nj(self) -> float:
+        """Total dynamic energy of the run, in nJ."""
         return sum(self.energy_nj.values())
 
     def speedup_over(self, baseline: "RunMetrics") -> float:

@@ -169,6 +169,7 @@ class SequentialStream(AddressPattern):
         self._rng = rng
 
     def stream(self) -> Iterator[AddressPair]:
+        """Yield the infinite memory-reference stream."""
         base, size, line = self.base, self.size, self.line_bytes
         wf = self.write_fraction
         rand = self._rng.random
@@ -180,6 +181,7 @@ class SequentialStream(AddressPattern):
                 offset = 0
 
     def batches(self, chunk: int) -> Iterator[List[AddressPair]]:
+        """Yield references grouped into dependence batches."""
         base, size, line = self.base, self.size, self.line_bytes
         wf = self.write_fraction
         rand = self._rng.random
@@ -229,6 +231,7 @@ class StridedPattern(AddressPattern):
         self._rng = rng
 
     def stream(self) -> Iterator[AddressPair]:
+        """Yield the infinite memory-reference stream."""
         base, size, stride = self.base, self.size, self.stride
         wf = self.write_fraction
         rand = self._rng.random
@@ -243,6 +246,7 @@ class StridedPattern(AddressPattern):
                 offset = lane
 
     def batches(self, chunk: int) -> Iterator[List[AddressPair]]:
+        """Yield references grouped into dependence batches."""
         base, size, stride = self.base, self.size, self.stride
         wf = self.write_fraction
         rand = self._rng.random
@@ -281,6 +285,7 @@ class UniformRandom(AddressPattern):
         self._rng = rng
 
     def stream(self) -> Iterator[AddressPair]:
+        """Yield the infinite memory-reference stream."""
         base, gran, granules = self.base, self.granularity, self.granules
         wf = self.write_fraction
         rng = self._rng
@@ -296,6 +301,7 @@ class UniformRandom(AddressPattern):
             yield (base + j * gran, wf > 0 and rand() < wf)
 
     def batches(self, chunk: int) -> Iterator[List[AddressPair]]:
+        """Yield references grouped into dependence batches."""
         base, gran, granules = self.base, self.granularity, self.granules
         wf = self.write_fraction
         rng = self._rng
@@ -336,6 +342,7 @@ class HotspotPattern(AddressPattern):
         self._rng = rng
 
     def stream(self) -> Iterator[AddressPair]:
+        """Yield the infinite memory-reference stream."""
         hot_stream = self.hot.stream()
         cold_stream = self.cold.stream()
         hf = self.hot_fraction
@@ -399,6 +406,7 @@ class ZipfPattern(AddressPattern):
         self._block_order = order
 
     def stream(self) -> Iterator[AddressPair]:
+        """Yield the infinite memory-reference stream."""
         rng = self._rng
         rand = rng.random
         cdf = self._cdf
@@ -495,6 +503,7 @@ class PointerChase(AddressPattern):
                                          rng.getstate())
 
     def stream(self) -> Iterator[AddressPair]:
+        """Yield the infinite memory-reference stream."""
         successor = self._successor
         base, gran = self.base, self.granularity
         wf = self.write_fraction
@@ -505,6 +514,7 @@ class PointerChase(AddressPattern):
             node = successor[node]
 
     def batches(self, chunk: int) -> Iterator[List[AddressPair]]:
+        """Yield references grouped into dependence batches."""
         successor = self._successor
         base, gran = self.base, self.granularity
         wf = self.write_fraction
@@ -534,11 +544,13 @@ class OffsetPattern(AddressPattern):
         self.offset = offset
 
     def stream(self) -> Iterator[AddressPair]:
+        """Yield the infinite memory-reference stream."""
         offset = self.offset
         for address, is_write in self.inner.stream():
             yield (address + offset, is_write)
 
     def batches(self, chunk: int) -> Iterator[List[AddressPair]]:
+        """Yield references grouped into dependence batches."""
         offset = self.offset
         if offset == 0:
             yield from self.inner.batches(chunk)
@@ -564,6 +576,7 @@ class PhasedPattern(AddressPattern):
         self.phase_length = phase_length
 
     def stream(self) -> Iterator[AddressPair]:
+        """Yield the infinite memory-reference stream."""
         streams = [phase.stream() for phase in self.phases]
         length = self.phase_length
         while True:
@@ -597,6 +610,7 @@ class MixturePattern(AddressPattern):
         self._rng = rng
 
     def stream(self) -> Iterator[AddressPair]:
+        """Yield the infinite memory-reference stream."""
         streams = [pattern.stream() for pattern in self._patterns]
         cdf = self._cdf
         rand = self._rng.random

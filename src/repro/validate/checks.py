@@ -1,0 +1,516 @@
+"""Check kinds: how one ledger expectation is evaluated.
+
+Every :class:`~repro.validate.ledger.Expectation` names a ``kind`` from
+:data:`CHECKS`; the evaluator reads the structured
+:class:`~repro.experiments.report.ExperimentResult` rows/facts of the
+experiment(s) it references and returns a :class:`CheckOutcome` — a
+boolean plus a human-readable evidence string quoting the measured
+values, so a pass/fail in the report is always accompanied by the
+numbers that produced it.
+
+Kinds (parameters validated by :func:`validate_params`):
+
+* ``ordering`` — values along ``columns`` at ``row`` are monotone in
+  ``direction`` (optionally non-strict).
+* ``band`` — every selected cell (``rows`` x ``columns``, ``rows`` may
+  be ``"*"`` minus ``exclude_rows``) lies within ``[min, max]``.
+* ``derived_band`` — an arithmetic combination (``ratio``, ``diff`` or
+  ``diff_ratio`` = (a-b)/denom) of two cells at ``row`` lies within
+  ``[min, max]``.
+* ``spread`` / ``cross_spread`` — max-min of ``columns`` at ``row``
+  (within one experiment / between this and ``other``) is <= ``max``.
+* ``compare_cells`` / ``compare_columns`` / ``compare_grouped`` /
+  ``cross_compare`` — ordered comparisons between two cells, two
+  columns row-wise, matched row groups, or the same cell of another
+  experiment.
+* ``top_rank`` — the ``k`` highest (or lowest) rows by a column or a
+  column difference are exactly ``expect``.
+* ``knee`` — the curve at ``row`` rises by >= ``min_gain_before`` up to
+  column ``at`` and by <= ``max_gain_after`` beyond it.
+* ``roster`` — a column enumerates exactly (or at least) ``expect``.
+* ``facts`` — named :class:`~repro.experiments.report.Fact` values
+  equal paper constants or lie within bands.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..experiments.report import ExperimentResult
+from ..obs.render import format_number as _fmt
+
+
+class CheckError(ValueError):
+    """The expectation cannot be evaluated against these results."""
+
+
+@dataclass
+class CheckOutcome:
+    """Result of evaluating one expectation."""
+
+    passed: bool
+    evidence: str
+
+
+#: Comparison operators usable in the ``op`` parameter.
+OPS: Dict[str, Callable[[float, float], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9),
+}
+
+
+def _result(experiment: str,
+            results: Mapping[str, ExperimentResult]) -> ExperimentResult:
+    if experiment not in results:
+        raise CheckError(f"no result for experiment {experiment!r}")
+    return results[experiment]
+
+
+def _row(result: ExperimentResult, key: object) -> Dict[str, object]:
+    key_column = result.columns[0]
+    try:
+        return result.row_by(key_column, key)
+    except KeyError:
+        raise CheckError(
+            f"{result.experiment_id}: no row with {key_column}={key!r}")
+
+
+def _cell(result: ExperimentResult, row_key: object, column: str) -> float:
+    row = _row(result, row_key)
+    if column not in result.columns:
+        raise CheckError(
+            f"{result.experiment_id}: unknown column {column!r}")
+    value = row.get(column)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise CheckError(
+            f"{result.experiment_id}: cell ({row_key!r}, {column!r}) "
+            f"is not numeric: {value!r}")
+    return float(value)
+
+
+def _row_keys(result: ExperimentResult,
+              exclude: Sequence[str]) -> List[object]:
+    key_column = result.columns[0]
+    return [row.get(key_column) for row in result.rows
+            if row.get(key_column) not in set(exclude)]
+
+
+def _series_evidence(row: object, labels: Sequence[str],
+                     values: Sequence[float]) -> str:
+    cells = " ".join(f"{label}={_fmt(value)}"
+                     for label, value in zip(labels, values))
+    return f"{row}: {cells}"
+
+
+def _in_band(value: float, lo: Optional[float], hi: Optional[float]) -> bool:
+    if lo is not None and value < lo:
+        return False
+    if hi is not None and value > hi:
+        return False
+    return True
+
+
+def _band_text(lo: Optional[float], hi: Optional[float]) -> str:
+    if lo is not None and hi is not None:
+        return f"[{_fmt(lo)}, {_fmt(hi)}]"
+    if lo is not None:
+        return f">= {_fmt(lo)}"
+    return f"<= {_fmt(hi)}"
+
+
+def check_ordering(expectation, results) -> CheckOutcome:
+    """Values along ``columns`` at ``row`` are monotone."""
+    params = expectation.params
+    result = _result(expectation.experiment, results)
+    columns = params["columns"]
+    values = [_cell(result, params["row"], c) for c in columns]
+    strict = params.get("strict", True)
+    increasing = params.get("direction", "increasing") == "increasing"
+    pairs = zip(values, values[1:])
+    if increasing:
+        ok = all((a < b) if strict else (a <= b) for a, b in pairs)
+    else:
+        ok = all((a > b) if strict else (a >= b) for a, b in pairs)
+    return CheckOutcome(ok, _series_evidence(params["row"], columns, values))
+
+
+def check_band(expectation, results) -> CheckOutcome:
+    """Every selected cell lies within [min, max]."""
+    params = expectation.params
+    result = _result(expectation.experiment, results)
+    rows = params["rows"]
+    if rows == "*":
+        rows = _row_keys(result, params.get("exclude_rows", []))
+    lo, hi = params.get("min"), params.get("max")
+    violations = []
+    checked = []
+    for row_key in rows:
+        for column in params["columns"]:
+            value = _cell(result, row_key, column)
+            checked.append(f"{row_key}.{column}={_fmt(value)}")
+            if not _in_band(value, lo, hi):
+                violations.append(f"{row_key}.{column}={_fmt(value)}")
+    band = _band_text(lo, hi)
+    if violations:
+        return CheckOutcome(
+            False, f"outside {band}: {', '.join(violations)}")
+    sample = ", ".join(checked[:6]) + (" ..." if len(checked) > 6 else "")
+    return CheckOutcome(True, f"all {len(checked)} cell(s) {band} ({sample})")
+
+
+def check_derived_band(expectation, results) -> CheckOutcome:
+    """ratio / diff / diff_ratio of two cells lies within [min, max]."""
+    params = expectation.params
+    result = _result(expectation.experiment, results)
+    row = params["row"]
+    a = _cell(result, row, params["a"])
+    b = _cell(result, row, params["b"])
+    expr = params["expr"]
+    if expr == "ratio":
+        if b == 0:
+            raise CheckError(f"ratio denominator {params['b']} is zero")
+        value = a / b
+        text = f"{params['a']}/{params['b']}"
+    elif expr == "diff":
+        value = a - b
+        text = f"{params['a']}-{params['b']}"
+    else:  # diff_ratio
+        denom = _cell(result, row, params["denom"])
+        if denom == 0:
+            raise CheckError(f"denominator {params['denom']} is zero")
+        value = (a - b) / denom
+        text = f"({params['a']}-{params['b']})/{params['denom']}"
+    lo, hi = params.get("min"), params.get("max")
+    ok = _in_band(value, lo, hi)
+    evidence = (f"{row}: {text} = {_fmt(value)} "
+                f"(a={_fmt(a)} b={_fmt(b)}), want {_band_text(lo, hi)}")
+    return CheckOutcome(ok, evidence)
+
+
+def _spread(values: Sequence[float]) -> float:
+    return max(values) - min(values)
+
+
+def check_spread(expectation, results) -> CheckOutcome:
+    """max-min over ``columns`` at ``row`` is <= ``max``."""
+    params = expectation.params
+    result = _result(expectation.experiment, results)
+    columns = params["columns"]
+    values = [_cell(result, params["row"], c) for c in columns]
+    spread = _spread(values)
+    ok = spread <= params["max"]
+    evidence = (f"spread={_fmt(spread)} (<= {_fmt(params['max'])}) over "
+                + _series_evidence(params["row"], columns, values))
+    return CheckOutcome(ok, evidence)
+
+
+def check_cross_spread(expectation, results) -> CheckOutcome:
+    """Per-column |A-B| against ``other`` at ``row`` is <= ``max``."""
+    params = expectation.params
+    result_a = _result(expectation.experiment, results)
+    result_b = _result(params["other"], results)
+    columns = params["columns"]
+    row = params["row"]
+    gaps = [abs(_cell(result_a, row, c) - _cell(result_b, row, c))
+            for c in columns]
+    worst = max(gaps)
+    ok = worst <= params["max"]
+    evidence = (f"max |{expectation.experiment}-{params['other']}| "
+                f"= {_fmt(worst)} (<= {_fmt(params['max'])}) over "
+                + _series_evidence(row, columns, gaps))
+    return CheckOutcome(ok, evidence)
+
+
+def check_cross_compare(expectation, results) -> CheckOutcome:
+    """One cell compared against the same cell of ``other``."""
+    params = expectation.params
+    a = _cell(_result(expectation.experiment, results),
+              params["row"], params["column"])
+    b = _cell(_result(params["other"], results),
+              params["row"], params["column"])
+    op = params["op"]
+    ok = OPS[op](a, b)
+    evidence = (f"{expectation.experiment}.{params['row']}."
+                f"{params['column']}={_fmt(a)} {op} "
+                f"{params['other']}=...{_fmt(b)}".replace("=...", "="))
+    return CheckOutcome(ok, evidence)
+
+
+def check_compare_cells(expectation, results) -> CheckOutcome:
+    """Two cells of the same experiment, ordered by ``op``."""
+    params = expectation.params
+    result = _result(expectation.experiment, results)
+    a = _cell(result, params["row_a"], params["column_a"])
+    b = _cell(result, params["row_b"], params["column_b"])
+    op = params["op"]
+    ok = OPS[op](a, b)
+    evidence = (f"{params['row_a']}.{params['column_a']}={_fmt(a)} "
+                f"{op} {params['row_b']}.{params['column_b']}={_fmt(b)}")
+    return CheckOutcome(ok, evidence)
+
+
+def check_compare_columns(expectation, results) -> CheckOutcome:
+    """Column ``a`` vs column ``b`` row-wise, for every selected row."""
+    params = expectation.params
+    result = _result(expectation.experiment, results)
+    op = params["op"]
+    violations = []
+    rows = _row_keys(result, params.get("exclude_rows", []))
+    for row_key in rows:
+        a = _cell(result, row_key, params["a"])
+        b = _cell(result, row_key, params["b"])
+        if not OPS[op](a, b):
+            violations.append(
+                f"{row_key}: {params['a']}={_fmt(a)} !{op} "
+                f"{params['b']}={_fmt(b)}")
+    if violations:
+        return CheckOutcome(False, "; ".join(violations))
+    return CheckOutcome(
+        True, f"{params['a']} {op} {params['b']} holds for all "
+              f"{len(rows)} row(s)")
+
+
+def check_compare_grouped(expectation, results) -> CheckOutcome:
+    """Matched vs baseline rows within each ``group_by`` group.
+
+    For every distinct value of the ``group_by`` column, the row
+    matching ``match`` is compared against the row matching
+    ``baseline`` on ``column``.
+    """
+    params = expectation.params
+    result = _result(expectation.experiment, results)
+    group_column = params["group_by"]
+    column = params["column"]
+    op = params["op"]
+
+    def _matches(row: Dict[str, object],
+                 selector: Dict[str, object]) -> bool:
+        return all(row.get(k) == v for k, v in selector.items())
+
+    groups: Dict[object, Dict[str, Optional[float]]] = {}
+    for row in result.rows:
+        group = row.get(group_column)
+        entry = groups.setdefault(group, {"match": None, "baseline": None})
+        for side, selector in (("match", params["match"]),
+                               ("baseline", params["baseline"])):
+            if _matches(row, selector):
+                value = row.get(column)
+                if not isinstance(value, (int, float)):
+                    raise CheckError(
+                        f"{result.experiment_id}: {column!r} of group "
+                        f"{group!r} is not numeric")
+                entry[side] = float(value)
+    violations, evidence = [], []
+    for group, entry in groups.items():
+        matched, baseline = entry["match"], entry["baseline"]
+        if matched is None or baseline is None:
+            raise CheckError(
+                f"{result.experiment_id}: group {group!r} lacks a "
+                f"match/baseline row")
+        evidence.append(f"{group}: {_fmt(matched)} vs {_fmt(baseline)}")
+        if not OPS[op](matched, baseline):
+            violations.append(str(group))
+    text = (f"{column} ({params['match']} {op} {params['baseline']}): "
+            + ", ".join(evidence))
+    if violations:
+        return CheckOutcome(False, f"violated in {violations}; {text}")
+    return CheckOutcome(True, text)
+
+
+def check_top_rank(expectation, results) -> CheckOutcome:
+    """The k extreme rows by a column (or column difference)."""
+    params = expectation.params
+    result = _result(expectation.experiment, results)
+    exclude = params.get("exclude_rows", [])
+    rows = _row_keys(result, exclude)
+    metric = params.get("metric")
+    if metric is not None:
+        scores = {r: _cell(result, r, metric["a"])
+                  - _cell(result, r, metric["b"]) for r in rows}
+        label = f"{metric['a']}-{metric['b']}"
+    else:
+        scores = {r: _cell(result, r, params["column"]) for r in rows}
+        label = params["column"]
+    bottom = params.get("rank", "top") == "bottom"
+    ranked = sorted(scores, key=lambda r: scores[r], reverse=not bottom)
+    k = params["k"]
+    observed = ranked[:k]
+    expected = set(params["expect"])
+    ok = set(observed) == expected
+    shown = ", ".join(f"{r}={_fmt(scores[r])}" for r in ranked[:max(k, 5)])
+    direction = "bottom" if bottom else "top"
+    evidence = (f"{direction}-{k} by {label}: {observed} "
+                f"(expected {sorted(expected)}); ranked: {shown}")
+    return CheckOutcome(ok, evidence)
+
+
+def check_knee(expectation, results) -> CheckOutcome:
+    """The sensitivity curve flattens at column ``at``."""
+    params = expectation.params
+    result = _result(expectation.experiment, results)
+    columns = list(params["columns"])
+    at = params["at"]
+    if at not in columns:
+        raise CheckError(f"knee column {at!r} not in columns {columns}")
+    row = params["row"]
+    values = [_cell(result, row, c) for c in columns]
+    knee_index = columns.index(at)
+    gain_before = values[knee_index] - values[0]
+    gain_after = values[-1] - values[knee_index]
+    ok = True
+    if "min_gain_before" in params:
+        ok = ok and gain_before >= params["min_gain_before"]
+    if "max_gain_after" in params:
+        ok = ok and gain_after <= params["max_gain_after"]
+    evidence = (f"rise to {at}: {_fmt(gain_before)}, beyond: "
+                f"{_fmt(gain_after)}; "
+                + _series_evidence(row, columns, values))
+    return CheckOutcome(ok, evidence)
+
+
+def check_roster(expectation, results) -> CheckOutcome:
+    """A column enumerates exactly (or at least) the expected names."""
+    params = expectation.params
+    result = _result(expectation.experiment, results)
+    column = params["column"]
+    if column not in result.columns:
+        raise CheckError(
+            f"{result.experiment_id}: unknown column {column!r}")
+    observed = [row.get(column) for row in result.rows]
+    expected = list(params["expect"])
+    if params.get("exact", True):
+        ok = sorted(map(str, observed)) == sorted(map(str, expected))
+    else:
+        ok = set(expected) <= set(observed)
+    missing = [e for e in expected if e not in observed]
+    extra = [o for o in observed if o not in expected]
+    evidence = f"{len(observed)} entries"
+    if missing:
+        evidence += f"; missing: {missing}"
+    if extra and params.get("exact", True):
+        evidence += f"; unexpected: {extra}"
+    if ok:
+        evidence += f" (matches the {len(expected)}-entry roster)"
+    return CheckOutcome(ok, evidence)
+
+
+def check_facts(expectation, results) -> CheckOutcome:
+    """Named facts equal constants or lie within bands."""
+    params = expectation.params
+    result = _result(expectation.experiment, results)
+    violations, checked = [], []
+    for name, spec in params["facts"].items():
+        if name not in result.facts:
+            raise CheckError(
+                f"{result.experiment_id}: no fact {name!r} "
+                f"(has: {sorted(result.facts)})")
+        value = result.facts[name].value
+        if "equals" in spec:
+            tolerance = spec.get("tolerance", 1e-9)
+            ok = abs(value - spec["equals"]) <= tolerance
+            checked.append(f"{name}={_fmt(value)}")
+            if not ok:
+                violations.append(
+                    f"{name}={_fmt(value)} != {_fmt(spec['equals'])}")
+        else:
+            lo, hi = spec.get("min"), spec.get("max")
+            ok = _in_band(value, lo, hi)
+            checked.append(f"{name}={_fmt(value)}")
+            if not ok:
+                violations.append(
+                    f"{name}={_fmt(value)} outside {_band_text(lo, hi)}")
+    if violations:
+        return CheckOutcome(False, "; ".join(violations))
+    return CheckOutcome(True, ", ".join(checked))
+
+
+#: kind name -> evaluator.
+CHECKS: Dict[str, Callable] = {
+    "ordering": check_ordering,
+    "band": check_band,
+    "derived_band": check_derived_band,
+    "spread": check_spread,
+    "cross_spread": check_cross_spread,
+    "cross_compare": check_cross_compare,
+    "compare_cells": check_compare_cells,
+    "compare_columns": check_compare_columns,
+    "compare_grouped": check_compare_grouped,
+    "top_rank": check_top_rank,
+    "knee": check_knee,
+    "roster": check_roster,
+    "facts": check_facts,
+}
+
+#: kind -> (required params, optional params).  Used at ledger-load time
+#: so schema errors surface before any simulation runs.
+_PARAM_SPECS: Dict[str, tuple] = {
+    "ordering": (("row", "columns"), ("direction", "strict")),
+    "band": (("rows", "columns"), ("min", "max", "exclude_rows")),
+    "derived_band": (("row", "expr", "a", "b"),
+                     ("denom", "min", "max")),
+    "spread": (("row", "columns", "max"), ()),
+    "cross_spread": (("other", "row", "columns", "max"), ()),
+    "cross_compare": (("other", "row", "column", "op"), ()),
+    "compare_cells": (("row_a", "column_a", "op", "row_b", "column_b"),
+                      ()),
+    "compare_columns": (("a", "b", "op"), ("exclude_rows",)),
+    "compare_grouped": (("group_by", "match", "baseline", "column", "op"),
+                        ()),
+    "top_rank": (("k", "expect"),
+                 ("column", "metric", "rank", "exclude_rows")),
+    "knee": (("row", "columns", "at"),
+             ("min_gain_before", "max_gain_after")),
+    "roster": (("column", "expect"), ("exact",)),
+    "facts": (("facts",), ()),
+}
+
+
+def validate_params(kind: str, params: Dict[str, object],
+                    where: str) -> None:
+    """Schema-check one expectation's params (raises LedgerError)."""
+    from .ledger import LedgerError  # local: avoid import cycle
+
+    if kind not in CHECKS:
+        raise LedgerError(
+            f"{where}: unknown check kind {kind!r} "
+            f"(known: {', '.join(sorted(CHECKS))})")
+    required, optional = _PARAM_SPECS[kind]
+    missing = [p for p in required if p not in params]
+    if missing:
+        raise LedgerError(
+            f"{where}: kind {kind!r} missing required param(s) {missing}")
+    unknown = set(params) - set(required) - set(optional)
+    if unknown:
+        raise LedgerError(
+            f"{where}: kind {kind!r} has unknown param(s) "
+            f"{sorted(unknown)}")
+    if kind == "top_rank" and ("column" in params) == ("metric" in params):
+        raise LedgerError(
+            f"{where}: top_rank needs exactly one of 'column'/'metric'")
+    if kind == "derived_band" and params.get("expr") not in (
+            "ratio", "diff", "diff_ratio"):
+        raise LedgerError(
+            f"{where}: derived_band expr must be ratio|diff|diff_ratio")
+    if kind == "derived_band" and params.get("expr") == "diff_ratio" \
+            and "denom" not in params:
+        raise LedgerError(
+            f"{where}: derived_band diff_ratio requires 'denom'")
+    op = params.get("op")
+    if op is not None and op not in OPS:
+        raise LedgerError(
+            f"{where}: unknown op {op!r} (known: {', '.join(OPS)})")
+    if "min" not in params and "max" not in params \
+            and kind in ("band", "derived_band"):
+        raise LedgerError(
+            f"{where}: kind {kind!r} needs at least one of min/max")
+
+
+def evaluate(expectation, results: Mapping[str, ExperimentResult]
+             ) -> CheckOutcome:
+    """Evaluate one expectation against experiment results."""
+    return CHECKS[expectation.kind](expectation, results)

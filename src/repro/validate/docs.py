@@ -1,0 +1,310 @@
+"""Generated documentation: EXPERIMENTS.md and experiments_output.txt.
+
+Both files are *rendered*, not hand-written: the numbers come from the
+committed full-scale results snapshot (``validation/results_full.json``)
+and every "✔" claim comes from evaluating the expectations ledger
+against that same snapshot, so a claim can only appear in the prose if
+the checker actually passed it — and each claim line carries its
+expectation id, so prose and ledger cannot drift apart.
+
+CI regenerates both files and fails on any byte difference
+(``repro docs experiments --check`` / ``repro docs output --check``).
+To refresh after a model change::
+
+    PYTHONPATH=src python -m repro validate --scale full \\
+        --save-snapshot validation/results_full.json
+    PYTHONPATH=src python -m repro docs experiments --write
+    PYTHONPATH=src python -m repro docs output --write
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..experiments.report import ExperimentResult
+from .engine import evaluate_expectations, load_snapshot
+from .ledger import Ledger
+
+#: Marks rendered for each claim status.
+_MARKS = {"pass": "✔", "fail": "✘", "error": "⚠", "skip": "…"}
+
+
+@dataclass
+class Section:
+    """One rendered section of EXPERIMENTS.md."""
+
+    heading: str
+    command: str
+    experiments: Tuple[str, ...]
+    intro: Tuple[str, ...] = ()
+    table: Optional[Dict[str, object]] = field(default=None)
+
+
+#: The document plan: section order, prose, and which gmean tables to
+#: show with the paper's published values alongside.
+SECTIONS: Tuple[Section, ...] = (
+    Section(
+        "Table 1 — system configuration", "repro run table1", ("table1",),
+        intro=(
+            "Regenerated from the live config objects; every checkable "
+            "scalar is exported as a structured fact and pinned by the "
+            "ledger below.",
+        )),
+    Section(
+        "Table 2 — workloads", "repro run table2", ("table2",)),
+    Section(
+        "Figure 7a — single-programming performance", "repro run fig7a",
+        ("fig7a",),
+        table={"experiment": "fig7a", "row": "gmean",
+               "columns": ("sas", "charm", "das", "das_fm", "fs"),
+               "labels": ("SAS", "CHARM", "DAS", "DAS(FM)", "FS"),
+               "paper": ("2.66%", "4.23%", "7.25%", "~7.7%", "8.71%")}),
+    Section(
+        "Figure 7b — MPKI / PPKM / footprint", "repro run fig7b",
+        ("fig7b",)),
+    Section(
+        "Figure 7c — access locations, single", "repro run fig7c",
+        ("fig7c",)),
+    Section(
+        "Figure 7d — multi-programming performance", "repro run fig7d",
+        ("fig7d",),
+        table={"experiment": "fig7d", "row": "gmean",
+               "columns": ("sas", "charm", "das", "fs"),
+               "labels": ("SAS", "CHARM", "DAS", "FS"),
+               "paper": ("3.72%", "4.87%", "11.77%", "13.79%")}),
+    Section(
+        "Figure 7e / 7f — mix MPKI / PPKM / locations",
+        "repro run fig7e|fig7f", ("fig7e", "fig7f")),
+    Section(
+        "Figure 8 — promotion filtering", "repro run fig8a|fig8b|fig8c",
+        ("fig8a", "fig8b", "fig8c"),
+        table={"experiment": "fig8a", "row": "gmean",
+               "columns": ("t8", "t4", "t2", "t1"),
+               "labels": ("t8", "t4", "t2", "t1")}),
+    Section(
+        "Figure 9a — translation-cache capacity", "repro run fig9a",
+        ("fig9a",),
+        table={"experiment": "fig9a", "row": "gmean",
+               "columns": ("32KB", "64KB", "128KB", "256KB"),
+               "labels": ("32KB", "64KB", "128KB", "256KB")}),
+    Section(
+        "Figure 9b — migration-group size", "repro run fig9b",
+        ("fig9b",),
+        table={"experiment": "fig9b", "row": "gmean",
+               "columns": ("8-row", "16-row", "32-row", "64-row"),
+               "labels": ("8", "16", "32", "64")}),
+    Section(
+        "Figure 9c / 9d — fast-level ratio, random vs LRU",
+        "repro run fig9c|fig9d", ("fig9c", "fig9d"),
+        table={"experiment": "fig9c", "row": "gmean",
+               "columns": ("1/32", "1/16", "1/8", "1/4"),
+               "labels": ("1/32", "1/16", "1/8", "1/4")}),
+    Section(
+        "Section 7.7 — power", "repro run power", ("power",),
+        table={"experiment": "power", "row": "mean",
+               "columns": ("standard_nj", "charm_nj", "das_nj", "fs_nj"),
+               "labels": ("standard", "CHARM", "DAS", "FS"),
+               "unit": "nJ/access"}),
+    Section(
+        "Repo ablations (beyond the paper)",
+        "repro run ablation-migration|... ",
+        ("ablation-migration", "ablation-replacement",
+         "ablation-inclusive", "ablation-controller", "ablation-seeds",
+         "fairness"),
+        intro=(
+            "Studies the paper motivates but does not plot: design-point "
+            "robustness (migration latency, replacement policy, "
+            "controller policy), the inclusive-management alternative of "
+            "Section 5, seed stability and mix fairness.",
+        )),
+)
+
+
+def _fmt_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _gmean_table(results: Mapping[str, ExperimentResult],
+                 spec: Mapping[str, object]) -> List[str]:
+    result = results[spec["experiment"]]
+    row = result.row_by(result.columns[0], spec["row"])
+    labels = spec["labels"]
+    unit = spec.get("unit", "gmean improvement")
+    lines = ["| " + " | ".join([str(unit), *labels]) + " |",
+             "|" + "---|" * (len(labels) + 1)]
+    if "paper" in spec:
+        lines.append("| paper | " + " | ".join(spec["paper"]) + " |")
+    measured = [_fmt_cell(row.get(column)) for column in spec["columns"]]
+    lines.append("| measured | " + " | ".join(measured) + " |")
+    return lines
+
+
+def _wrap(text: str, width: int = 72, indent: str = "  ") -> List[str]:
+    """Deterministic word wrap for claim evidence lines."""
+    words = text.split()
+    lines: List[str] = []
+    current = indent
+    for word in words:
+        candidate = word if current == indent else f"{current[len(indent):]} {word}"
+        if len(indent) + len(candidate) > width and current != indent:
+            lines.append(current)
+            current = indent + word
+        else:
+            current = indent + candidate
+    if current.strip():
+        lines.append(current)
+    return lines
+
+
+def render_experiments_md(snapshot_path: Path, ledger: Ledger) -> str:
+    """Render the complete EXPERIMENTS.md from snapshot + ledger."""
+    snapshot = load_snapshot(snapshot_path)
+    results = {experiment_id: ExperimentResult.from_dict(result)
+               for experiment_id, result
+               in snapshot["experiments"].items()}
+    expectations = ledger.select(scale="full")
+    report = evaluate_expectations(expectations, results, "full")
+    by_id = {claim.id: claim for claim in report.claims}
+
+    lines: List[str] = []
+    out = lines.append
+    out("# EXPERIMENTS — paper vs. measured")
+    out("")
+    out("<!-- GENERATED FILE — do not edit by hand.")
+    out("     Rendered from validation/results_full.json (full-scale "
+        "results snapshot)")
+    out("     and validation/expectations.json (the fidelity ledger) "
+        "by:")
+    out("         PYTHONPATH=src python -m repro docs experiments "
+        "--write")
+    out("     CI fails when this file differs from regeneration "
+        "(docs drift gate). -->")
+    out("")
+    out("Every table and figure of the paper's evaluation, regenerated "
+        "at full scale")
+    out("(single-programming: 150 000 memory references per run; "
+        "mixes: 60 000 per")
+    out("core; first 20% warmup, as in the paper).  Raw rendered "
+        "tables are in")
+    out("`experiments_output.txt`; this ledger records the comparison "
+        "against the")
+    out("paper, and **every claim below is machine-checked**: the "
+        "mark is computed")
+    out("by `repro validate` from the same results snapshot, and the "
+        "backticked id")
+    out("names the expectation in `validation/expectations.json` that "
+        "encodes it.")
+    out("")
+    out("**Reading this ledger.** The substrate is a 1/32-scale "
+        "trace-driven model")
+    out("(DESIGN.md), not Marss86 running SPEC binaries, so *absolute* "
+        "improvement")
+    out("percentages are larger than the paper's — the synthetic "
+        "memory-bound")
+    out("workloads expose more of their time to DRAM latency.  The "
+        "reproduction")
+    out("targets, per the calibration bands, are **shape, ordering, "
+        "ratios and")
+    out("crossovers** (✔ = the checker passed the claim against the "
+        "snapshot).")
+    for section in SECTIONS:
+        out("")
+        out(f"## {section.heading} (`{section.command.rstrip()}`)")
+        out("")
+        for paragraph in section.intro:
+            out(paragraph)
+            out("")
+        if section.table is not None:
+            lines.extend(_gmean_table(results, section.table))
+            out("")
+        section_claims = [
+            claim for expectation in expectations
+            for claim in [by_id[expectation.id]]
+            if expectation.experiment in section.experiments]
+        for claim in section_claims:
+            mark = _MARKS[claim.status]
+            out(f"* {mark} `{claim.id}` — {claim.title}")
+            lines.extend(_wrap(f"({claim.paper})  measured: "
+                               f"{claim.evidence}"))
+    out("")
+    out("## Known deviations")
+    out("")
+    for index, deviation in enumerate(ledger.deviations, 1):
+        first, *rest = _wrap(deviation, width=72, indent="   ")
+        out(f"{index}." + first[2:])
+        lines.extend(rest)
+    out("")
+    out("## Provenance")
+    out("")
+    counts = report.counts
+    out(f"* Snapshot: `validation/results_full.json`, scale "
+        f"`{snapshot['scale']}`, CODE_VERSION {snapshot['code_version']}.")
+    out(f"* Ledger: `validation/expectations.json`, "
+        f"{len(ledger.expectations)} expectations "
+        f"({len(expectations)} checked at full scale: "
+        f"{counts['pass']} pass, {counts['fail']} fail).")
+    out("* Re-check any time without simulating: "
+        "`repro validate --scale full --from-snapshot "
+        "validation/results_full.json`.")
+    out("* Reduced-scale directional gate (run in CI): "
+        "`repro validate --scale ci`.")
+    out("* Cached results (`.repro_cache/`) are keyed by code version "
+        "+ full config; any")
+    out("  model change invalidates them (`CODE_VERSION` bump) and "
+        "requires re-recording")
+    out("  the snapshot.")
+    return "\n".join(lines) + "\n"
+
+
+def render_output_txt(snapshot_path: Path) -> str:
+    """Render experiments_output.txt (all ASCII tables) from a snapshot."""
+    from ..experiments.registry import experiment_ids
+
+    snapshot = load_snapshot(snapshot_path)
+    results = {experiment_id: ExperimentResult.from_dict(result)
+               for experiment_id, result
+               in snapshot["experiments"].items()}
+    lines = [
+        "experiments_output.txt — rendered tables of every experiment",
+        "",
+        "GENERATED FILE — do not edit by hand.  Rendered from the",
+        "committed full-scale results snapshot "
+        "(validation/results_full.json)",
+        "by: PYTHONPATH=src python -m repro docs output --write",
+        f"Scale: full (CODE_VERSION {snapshot['code_version']}).  "
+        "To re-simulate from scratch:",
+        "repro run all --jobs N; to re-check claims: repro validate "
+        "--scale full.",
+        "",
+    ]
+    ordered = [e for e in experiment_ids() if e in results]
+    extra = sorted(set(results) - set(ordered))
+    for experiment_id in ordered + extra:
+        lines.append(results[experiment_id].render())
+        lines.append("")
+    return "\n".join(lines)
+
+
+def check_rendered(rendered: str, path: Path) -> Optional[str]:
+    """None when ``path`` matches ``rendered``; a message otherwise."""
+    target = Path(path)
+    if not target.exists():
+        return f"{path} does not exist; write it with --write"
+    committed = target.read_text()
+    if committed == rendered:
+        return None
+    committed_lines = committed.splitlines()
+    rendered_lines = rendered.splitlines()
+    for index, (a, b) in enumerate(
+            zip(committed_lines, rendered_lines), 1):
+        if a != b:
+            return (f"{path} drifted from regeneration "
+                    f"(first difference at line {index}:\n"
+                    f"  committed: {a!r}\n  regenerated: {b!r})")
+    return (f"{path} drifted from regeneration (length differs: "
+            f"{len(committed_lines)} committed vs "
+            f"{len(rendered_lines)} regenerated lines)")
