@@ -15,6 +15,12 @@ Examples::
     repro validate --scale ci      # machine-check paper-fidelity claims
     repro validate --scale full --from-snapshot validation/results_full.json
     repro docs experiments --check # verify EXPERIMENTS.md regenerates
+    repro serve --jobs 4           # run the simulation job server
+    repro submit bench mcf         # run one workload through the server
+    repro submit experiment fig7a  # server-side experiment + tabulation
+    repro status                   # a running server's counters and queue
+    repro cache stats              # the content-addressed result store
+    repro cache gc --max-mb 100    # evict LRU entries past a size cap
 """
 
 from __future__ import annotations
@@ -26,7 +32,9 @@ import sys
 from typing import Iterator, List, Optional
 
 from .core.variants import DESIGNS
+from .exec.pool import DEFAULT_RETRIES, DEFAULT_TIMEOUT_S
 from .experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from .service import protocol as service_protocol
 from .sim.runner import run_workload
 from .trace.multiprog import mix_names
 from .trace.spec2006 import benchmark_names
@@ -51,11 +59,13 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="pre-execute the experiments' simulations on N "
                           "worker processes (planner deduplicates shared "
                           "runs; tables are identical to a serial run)")
-    run.add_argument("--timeout", type=float, default=None, metavar="SEC",
-                     help="per-simulation timeout for parallel execution")
-    run.add_argument("--retries", type=int, default=2,
+    run.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT_S,
+                     metavar="SEC",
+                     help="per-simulation timeout for parallel execution "
+                          "(default: none)")
+    run.add_argument("--retries", type=int, default=DEFAULT_RETRIES,
                      help="retry budget per simulation on worker "
-                          "failure (default: 2)")
+                          f"failure (default: {DEFAULT_RETRIES})")
     run.add_argument("--chart", action="store_true",
                      help="also render the result as ASCII bars")
     run.add_argument("--save", metavar="DIR", default=None,
@@ -237,6 +247,120 @@ def _build_parser() -> argparse.ArgumentParser:
     docs.add_argument("--out", default=None, metavar="PATH",
                       help="target file (default: EXPERIMENTS.md / "
                            "experiments_output.txt)")
+
+    serve = sub.add_parser(
+        "serve", help="run the simulation job server (asyncio, TCP)")
+    serve.add_argument("--host", default=service_protocol.DEFAULT_HOST,
+                       help=f"bind address (default: "
+                            f"{service_protocol.DEFAULT_HOST})")
+    serve.add_argument("--port", type=int,
+                       default=service_protocol.DEFAULT_PORT,
+                       help=f"TCP port (default: "
+                            f"{service_protocol.DEFAULT_PORT}; 0 picks a "
+                            f"free port and prints it)")
+    serve.add_argument("--jobs", "-j", type=int, default=2, metavar="N",
+                       help="concurrent worker subprocesses (default: 2)")
+    serve.add_argument("--no-store", action="store_true",
+                       help="neither read nor write the result store "
+                            "(every submission simulates)")
+    serve.add_argument("--store-max-mb", type=float, default=None,
+                       metavar="MB",
+                       help="evict least-recently-used store entries "
+                            "past this size after each completed job")
+    serve.add_argument("--log-json", metavar="PATH", default=None,
+                       help="write server telemetry (requests, job "
+                            "lifecycle, failures) as JSON lines to PATH")
+
+    submit = sub.add_parser(
+        "submit", help="submit work to a running 'repro serve'")
+    submit_sub = submit.add_subparsers(dest="submit_kind", required=True)
+
+    def _client_flags(p, timeline_default: bool) -> None:
+        p.add_argument("--host", default=service_protocol.DEFAULT_HOST)
+        p.add_argument("--port", type=int,
+                       default=service_protocol.DEFAULT_PORT)
+        p.add_argument("--priority", type=int, default=0,
+                       help="scheduling priority; lower runs earlier "
+                            "(default: 0)")
+        p.add_argument("--retries", type=int, default=None,
+                       help="per-job retry budget (default: the "
+                            f"executor's {DEFAULT_RETRIES})")
+        p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="per-attempt timeout (default: none)")
+        p.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the full outcome as JSON (suppresses "
+                            "live progress)")
+        if timeline_default:
+            p.add_argument("--no-timeline", action="store_true",
+                           help="skip per-window timeline frames")
+
+    s_bench = submit_sub.add_parser(
+        "bench", help="one workload/design simulation")
+    s_bench.add_argument("workload",
+                         help=f"one of {', '.join(benchmark_names())} "
+                              f"or {', '.join(mix_names())}")
+    s_bench.add_argument("--design", default="das", choices=DESIGNS)
+    s_bench.add_argument("--refs", type=int, default=None)
+    s_bench.add_argument("--seed", type=int, default=1)
+    _client_flags(s_bench, timeline_default=True)
+
+    s_exp = submit_sub.add_parser(
+        "experiment", help="a registry experiment, tabulated server-side")
+    s_exp.add_argument("experiment", help="experiment id (see 'repro list')")
+    s_exp.add_argument("--refs", type=int, default=None)
+    _client_flags(s_exp, timeline_default=False)
+
+    s_sweep = submit_sub.add_parser(
+        "sweep", help="a workloads x designs grid")
+    s_sweep.add_argument("--workloads", required=True,
+                         help="comma-separated workload names")
+    s_sweep.add_argument("--designs", required=True,
+                         help="comma-separated design names")
+    s_sweep.add_argument("--refs", type=int, default=None)
+    s_sweep.add_argument("--seed", type=int, default=1)
+    _client_flags(s_sweep, timeline_default=False)
+
+    s_val = submit_sub.add_parser(
+        "validate", help="the expectations ledger at a scale")
+    s_val.add_argument("--scale", default="ci", choices=["ci", "full"])
+    s_val.add_argument("--only", default=None, metavar="IDS",
+                       help="comma-separated expectation/experiment ids")
+    _client_flags(s_val, timeline_default=False)
+
+    watch = sub.add_parser(
+        "watch", help="attach to an in-flight (or stored) job by key")
+    watch.add_argument("key", help="runner cache key (shown in ack frames "
+                                   "and 'repro cache ls')")
+    watch.add_argument("--host", default=service_protocol.DEFAULT_HOST)
+    watch.add_argument("--port", type=int,
+                       default=service_protocol.DEFAULT_PORT)
+    watch.add_argument("--json", action="store_true", dest="as_json")
+
+    status = sub.add_parser(
+        "status", help="a running server's queue, counters and store")
+    status.add_argument("--host", default=service_protocol.DEFAULT_HOST)
+    status.add_argument("--port", type=int,
+                        default=service_protocol.DEFAULT_PORT)
+    status.add_argument("--json", action="store_true", dest="as_json")
+
+    cache = sub.add_parser(
+        "cache", help="inspect / garbage-collect the result store")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    c_stats = cache_sub.add_parser("stats", help="entry count and size")
+    c_ls = cache_sub.add_parser("ls", help="list entries, LRU first")
+    c_ls.add_argument("--limit", type=int, default=None, metavar="N",
+                      help="show at most N entries")
+    c_gc = cache_sub.add_parser(
+        "gc", help="evict by age and/or LRU size cap")
+    c_gc.add_argument("--max-mb", type=float, default=None, metavar="MB",
+                      help="evict LRU entries until the store fits MB")
+    c_gc.add_argument("--max-age-days", type=float, default=None,
+                      metavar="D", help="evict entries older than D days")
+    for c_cmd in (c_stats, c_ls, c_gc):
+        c_cmd.add_argument("--dir", default=None, metavar="PATH",
+                           help="store directory (default: "
+                                "$REPRO_CACHE_DIR or .repro_cache)")
+        c_cmd.add_argument("--json", action="store_true", dest="as_json")
     return parser
 
 
@@ -368,7 +492,298 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _validate_command(args)
     if args.command == "docs":
         return _docs_command(args)
+    if args.command == "serve":
+        return _serve_command(args)
+    if args.command == "submit":
+        return _submit_command(args)
+    if args.command == "watch":
+        return _watch_command(args)
+    if args.command == "status":
+        return _status_command(args)
+    if args.command == "cache":
+        return _cache_command(args)
     raise AssertionError("unreachable")
+
+
+def _serve_command(args) -> int:
+    """Handle ``repro serve``: run the job server until drained."""
+    import asyncio
+    import signal
+
+    from .service.server import ReproServer
+
+    with contextlib.ExitStack() as stack:
+        log = None
+        if args.log_json is not None:
+            from .exec import JsonlLog
+
+            log = stack.enter_context(JsonlLog(args.log_json))
+        store_max = (int(args.store_max_mb * 1_000_000)
+                     if args.store_max_mb is not None else None)
+
+        async def amain() -> None:
+            server = ReproServer(args.host, args.port, jobs=args.jobs,
+                                 use_store=not args.no_store, log=log,
+                                 store_max_bytes=store_max)
+            await server.start()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                with contextlib.suppress(NotImplementedError):
+                    loop.add_signal_handler(signum, server.request_shutdown)
+            print(f"repro server on {server.host}:{server.port} "
+                  f"(jobs={server.jobs}, "
+                  f"store={server.store.directory}) -- "
+                  f"Ctrl-C drains in-flight jobs and exits",
+                  file=sys.stderr, flush=True)
+            await server.serve_until_closed()
+
+        asyncio.run(amain())
+    return 0
+
+
+def _event_printer():
+    """Live progress renderer for human-mode ``repro submit``/``watch``.
+
+    Progress frames redraw one stderr line per job (carriage return);
+    lifecycle frames get their own lines.  Result payloads are left to
+    the outcome printer.
+    """
+    live = {"dirty": False}
+
+    def clear() -> None:
+        if live["dirty"]:
+            print("", file=sys.stderr)
+            live["dirty"] = False
+
+    def on_event(frame) -> None:
+        kind = frame.get("event")
+        if kind == "ack":
+            jobs = frame.get("jobs") or []
+            by_source: dict = {}
+            for job in jobs:
+                by_source[job["source"]] = by_source.get(job["source"], 0) + 1
+            routing = ", ".join(f"{n} {source}"
+                                for source, n in sorted(by_source.items()))
+            print(f"ack: {len(jobs)} job(s) ({routing})", file=sys.stderr)
+        elif kind == "started":
+            clear()
+            print(f"started {frame.get('key')} "
+                  f"(attempt {frame.get('attempt')})", file=sys.stderr)
+        elif kind == "progress":
+            done = frame.get("refs_done") or 0
+            total = frame.get("refs_total") or 0
+            percent = 100.0 * done / total if total else 0.0
+            print(f"\r  {frame.get('key')}: {percent:5.1f}% "
+                  f"({done}/{total} refs)", end="", file=sys.stderr,
+                  flush=True)
+            live["dirty"] = True
+        elif kind == "retry":
+            clear()
+            print(f"retry {frame.get('key')}: {frame.get('reason')}",
+                  file=sys.stderr)
+        elif kind == "error":
+            clear()
+            print(f"error: {frame.get('message')}", file=sys.stderr)
+        elif kind == "job_done":
+            clear()
+            print(f"job {frame.get('done')}/{frame.get('total')} complete "
+                  f"({frame.get('key')}, {frame.get('source')})",
+                  file=sys.stderr)
+        elif kind in ("result", "final", "done"):
+            clear()
+
+    return on_event
+
+
+def _print_metrics_summary(metrics, source: str) -> None:
+    """The bench-style one-result summary from a wire metrics dict."""
+    ipc = [round(float(x), 3) for x in metrics.get("ipc") or []]
+    print(f"workload={metrics.get('workload')} "
+          f"design={metrics.get('design')} (source: {source})")
+    print(f"  references={metrics.get('references')} "
+          f"time_ns={metrics.get('time_ns')}")
+    print(f"  ipc={ipc}")
+    print(f"  mean_read_latency="
+          f"{float(metrics.get('mean_read_latency_ns') or 0.0):.1f} ns")
+
+
+def _print_outcome(outcome, kind: str) -> int:
+    """Render one finished submit/watch outcome; returns an exit code."""
+    import json
+
+    if not outcome.ok:
+        for message in outcome.errors:
+            print(f"submit failed: {message}", file=sys.stderr)
+        return 1
+    if kind in ("bench", "watch"):
+        for key, payload in outcome.results.items():
+            _print_metrics_summary(payload.get("metrics") or {},
+                                   str(payload.get("source")))
+            print(f"  key={key}")
+    elif outcome.final is not None:
+        rendered = outcome.final.get("rendered")
+        if rendered:
+            print(rendered)
+        else:  # sweeps carry structured cells, not a rendered table
+            body = {k: v for k, v in outcome.final.items()
+                    if k not in ("event", "id", "kind", "elapsed_s")}
+            print(json.dumps(body, indent=2))
+    return 0
+
+
+def _outcome_json(outcome) -> str:
+    import json
+
+    return json.dumps({
+        "ok": outcome.ok,
+        "ack": outcome.ack,
+        "results": outcome.results,
+        "final": outcome.final,
+        "errors": outcome.errors,
+    }, indent=2)
+
+
+def _submit_command(args) -> int:
+    """Handle ``repro submit``: drive one request through the server."""
+    from .exec.plan import RunSpec
+    from .service.client import ServiceClient, ServiceError
+
+    job_config = {"priority": args.priority}
+    if args.retries is not None:
+        job_config["retries"] = args.retries
+    if args.timeout is not None:
+        job_config["timeout_s"] = args.timeout
+    on_event = None if args.as_json else _event_printer()
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            if args.submit_kind == "bench":
+                job_config["timeline"] = not args.no_timeline
+                outcome = client.submit_bench(
+                    RunSpec(args.workload, args.design, args.refs,
+                            args.seed),
+                    on_event=on_event, **job_config)
+            elif args.submit_kind == "experiment":
+                outcome = client.submit_experiment(
+                    args.experiment, references=args.refs,
+                    on_event=on_event, **job_config)
+            elif args.submit_kind == "sweep":
+                outcome = client.submit_sweep(
+                    args.workloads.split(","), args.designs.split(","),
+                    references=args.refs, seed=args.seed,
+                    on_event=on_event, **job_config)
+            else:
+                outcome = client.submit_validate(
+                    scale=args.scale,
+                    only=args.only.split(",") if args.only else None,
+                    on_event=on_event, **job_config)
+    except ServiceError as error:
+        print(f"submit: {error}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(_outcome_json(outcome))
+        return 0 if outcome.ok else 1
+    return _print_outcome(outcome, args.submit_kind)
+
+
+def _watch_command(args) -> int:
+    """Handle ``repro watch``: attach to a job by cache key."""
+    from .service.client import ServiceClient, ServiceError
+
+    on_event = None if args.as_json else _event_printer()
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            outcome = client.watch(args.key, on_event=on_event)
+    except ServiceError as error:
+        print(f"watch: {error}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(_outcome_json(outcome))
+        return 0 if outcome.ok else 1
+    return _print_outcome(outcome, "watch")
+
+
+def _status_command(args) -> int:
+    """Handle ``repro status``: one status frame from the server."""
+    import json
+
+    from .service.client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            status = client.status()
+    except ServiceError as error:
+        print(f"status: {error}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(json.dumps(status, indent=2))
+        return 0
+    store = status.get("store") or {}
+    print(f"server {args.host}:{args.port}: "
+          f"{status.get('queued')} queued, {status.get('running')} "
+          f"running, {status.get('clients')} client(s)"
+          + (" [draining]" if status.get("draining") else ""))
+    print(f"store {store.get('directory')}: {store.get('entries')} "
+          f"entries, {int(store.get('total_bytes') or 0) / 1e6:.1f} MB "
+          f"({store.get('hits')} hits / {store.get('misses')} misses "
+          f"this session)")
+    counters = status.get("counters") or {}
+    flat = {k: v for k, v in counters.items() if not isinstance(v, dict)}
+    if flat:
+        print("counters: " + ", ".join(f"{k}={v}"
+                                       for k, v in sorted(flat.items())))
+    return 0
+
+
+def _cache_command(args) -> int:
+    """Handle ``repro cache stats|ls|gc`` (offline, no server needed)."""
+    import json
+    import time
+
+    from .service.store import get_store
+
+    store = get_store(args.dir)
+    if args.cache_command == "stats":
+        store.scan()
+        stats = store.stats()
+        if args.as_json:
+            print(json.dumps(stats, indent=2))
+        else:
+            print(f"store {stats['directory']}: {stats['entries']} "
+                  f"entries, {int(stats['total_bytes']) / 1e6:.2f} MB")
+        return 0
+    if args.cache_command == "ls":
+        entries = store.entries()
+        if args.limit is not None:
+            entries = entries[:args.limit]
+        if args.as_json:
+            print(json.dumps([e.to_dict() for e in entries], indent=2))
+            return 0
+        if not entries:
+            print(f"store {store.directory}: empty")
+            return 0
+        now = time.time()
+        for entry in entries:
+            age_h = (now - entry.mtime) / 3600.0
+            print(f"{entry.key}  {entry.size_bytes:>9} B  "
+                  f"{age_h:8.2f} h old")
+        return 0
+    # gc
+    if args.max_mb is None and args.max_age_days is None:
+        print("cache gc: pass --max-mb and/or --max-age-days",
+              file=sys.stderr)
+        return 2
+    evicted = store.gc(
+        max_bytes=(int(args.max_mb * 1_000_000)
+                   if args.max_mb is not None else None),
+        max_age_s=(args.max_age_days * 86400.0
+                   if args.max_age_days is not None else None))
+    stats = store.stats()
+    if args.as_json:
+        print(json.dumps({"evicted": evicted, "stats": stats}, indent=2))
+    else:
+        print(f"evicted {len(evicted)} entries; {stats['entries']} "
+              f"remain ({int(stats['total_bytes']) / 1e6:.2f} MB)")
+    return 0
 
 
 def _validate_command(args) -> int:

@@ -40,6 +40,13 @@ from .progress import NullProgress
 #: A worker receives (spec, use_cache) and returns ``metrics.to_dict()``.
 Worker = Callable[[RunSpec, bool], Dict[str, object]]
 
+#: Default retry budget per spec — shared by :func:`execute`, the
+#: ``repro run --retries`` flag and the job server, so "the executor's
+#: robustness contract" means one number everywhere.
+DEFAULT_RETRIES = 2
+#: Default per-task timeout (no bound).
+DEFAULT_TIMEOUT_S: Optional[float] = None
+
 
 def run_spec_worker(spec: RunSpec, use_cache: bool = True) -> Dict[str, object]:
     """Default pool worker: simulate one spec, return plain-dict metrics.
@@ -139,8 +146,8 @@ class ExecutionReport:
 def execute(
     specs: Iterable[RunSpec],
     jobs: int = 1,
-    timeout_s: Optional[float] = None,
-    retries: int = 2,
+    timeout_s: Optional[float] = DEFAULT_TIMEOUT_S,
+    retries: int = DEFAULT_RETRIES,
     use_cache: bool = True,
     progress=None,
     worker: Optional[Worker] = None,

@@ -33,9 +33,14 @@ class JsonlLog:
         self._own = stream is None
         self._stream: TextIO = open(path, "w") if stream is None else stream
 
-    def event(self, kind: str, **fields: object) -> None:
-        """Write one event line (adds the wall-clock timestamp)."""
-        record = {"event": kind, "t": time.time()}
+    def event(self, name: str, **fields: object) -> None:
+        """Write one event line (adds the wall-clock timestamp).
+
+        The parameter is ``name`` rather than ``kind`` because callers
+        (notably the job server) log records that themselves carry a
+        ``kind`` field — it must stay usable as a keyword.
+        """
+        record = {"event": name, "t": time.time()}
         record.update(fields)
         self._stream.write(json.dumps(record) + "\n")
         self._stream.flush()
@@ -69,6 +74,23 @@ class JsonlLog:
         the pstats dump.
         """
         self.event("profile", label=label, path=path, hot=hot)
+
+    # ------------------------------------------------------------------
+    # Service event vocabulary (``repro serve --log-json``)
+    # ------------------------------------------------------------------
+    # The job server (:class:`repro.service.server.ReproServer`) logs
+    # through ``event`` directly; these names document its vocabulary so
+    # one grep finds both producers and consumers:
+    #
+    # * ``serve_start`` / ``serve_stop`` — lifecycle, bind address,
+    #   warm-store entry count, end-of-life counters;
+    # * ``client_connected`` / ``client_disconnected`` — per socket;
+    # * ``request`` — one submit: kind, spec totals, how many coalesced
+    #   or were answered from the store;
+    # * ``job_queued`` / ``job_started`` / ``job_result`` /
+    #   ``job_failure`` / ``job_cancelled`` — job lifecycle (mirrors the
+    #   executor's run/failure records, plus queue-only states);
+    # * ``internal_error`` — a scheduler bug surfaced by a job task.
 
     def summary(self, report) -> None:
         """End-of-batch record mirroring ``ExecutionReport.summary()``."""

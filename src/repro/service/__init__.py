@@ -1,0 +1,45 @@
+"""Simulation-as-a-service: job server, client and result store.
+
+Turns the ``repro`` CLI into a persistent service (the ROADMAP's
+"millions of users" refactor).  The pieces, bottom-up:
+
+* :mod:`repro.service.store` — the content-addressed :class:`ResultStore`
+  behind ``.repro_cache/``: results keyed by the runner's spec hash, an
+  index with sizes/mtimes/hit counts, LRU/size-capped eviction and a
+  warm-start scan.  Used by the standalone runner and the server alike.
+* :mod:`repro.service.protocol` — the JSON-lines wire format: request
+  vocabulary (``submit``/``watch``/``status``/``shutdown``) and the
+  streamed event vocabulary (``ack``/``queued``/``started``/
+  ``progress``/``timeline``/``result``/``final``/``done``).
+* :mod:`repro.service.queue` — the in-server job table: single-flight
+  deduplication on the run cache key, priority scheduling with
+  per-client round-robin fairness.
+* :mod:`repro.service.worker` — the per-job subprocess
+  (``python -m repro.service.worker``): simulates one spec, streams
+  timeline windows as they are sampled, writes through the store.
+* :mod:`repro.service.server` — the asyncio TCP server (``repro
+  serve``): accepts bench/experiment/sweep/validate submissions from
+  many concurrent clients, coalesces identical in-flight work, answers
+  completed work straight from the store, and streams progress back.
+* :mod:`repro.service.client` — the blocking client library behind
+  ``repro submit`` / ``repro watch`` / ``repro status``.
+"""
+
+from .client import ServiceClient, ServiceError
+from .protocol import DEFAULT_HOST, DEFAULT_PORT
+from .queue import Job, JobQueue
+from .server import ReproServer
+from .store import ResultStore, get_store, store_root
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "Job",
+    "JobQueue",
+    "ReproServer",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceError",
+    "get_store",
+    "store_root",
+]

@@ -1,0 +1,738 @@
+"""The asyncio job server behind ``repro serve``.
+
+One process, one event loop, many concurrent clients.  Every request
+normalises onto the runner's content-addressed cache key, so the server
+is a continuous version of the offline planner/pool pipeline:
+
+* completed work is answered straight from the :class:`ResultStore`
+  (never re-simulated);
+* identical in-flight work is **single-flighted**: the first submission
+  creates the job, later ones subscribe to it, and one worker's streamed
+  events fan out to every subscriber;
+* fresh work queues through :class:`JobQueue` (priority + per-client
+  round-robin fairness) onto at most ``jobs`` concurrent worker
+  subprocesses, each with the executor's retry/timeout contract.
+
+Workers stream timeline windows as they are sampled, so clients see
+``progress``/``timeline`` frames *during* a simulation, not a dump at
+the end.  Graceful shutdown stops accepting submissions, drains every
+queued and running job (subscribers get their results), then closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from itertools import count
+from pathlib import Path
+from typing import Awaitable, Callable, Dict, List, Optional, Set, Tuple
+
+from ..common.statistics import StatGroup
+from ..exec.plan import RunSpec
+from . import protocol
+from .protocol import ProtocolError
+from .queue import DONE, FAILED, Job, JobQueue
+from .store import ResultStore, get_store
+
+#: StreamReader line limit for worker pipes and client sockets (8 MiB).
+#: A ``result`` frame carries a full metrics dict (stats tree +
+#: timeline), which easily exceeds asyncio's 64 KiB default.
+LINE_LIMIT = 2 ** 23
+
+
+@dataclass
+class ClientConn:
+    """One connected client: its socket halves and outbound queue."""
+
+    id: str
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    #: Outbound frames; a dedicated writer task drains this so a slow
+    #: client never blocks a job's broadcast to other subscribers.
+    outbox: "asyncio.Queue[Optional[Dict[str, object]]]" = field(
+        default_factory=asyncio.Queue)
+    closed: bool = False
+
+    def send(self, frame: Dict[str, object]) -> None:
+        """Queue one frame for delivery (drops silently once closed)."""
+        if not self.closed:
+            self.outbox.put_nowait(frame)
+
+
+@dataclass
+class Request:
+    """One in-progress submit/watch request and its remaining jobs."""
+
+    client: ClientConn
+    req_id: object
+    kind: str
+    wants_timeline: bool = True
+    #: Cache keys still owed to this request.
+    pending: Set[str] = field(default_factory=set)
+    #: Keys that failed, with their reasons.
+    failed: Dict[str, str] = field(default_factory=dict)
+    total: int = 0
+    completed: int = 0
+    #: Tabulation step once every job exists (multi-job kinds).
+    finalize: Optional[Callable[[], Dict[str, object]]] = None
+    #: Guards the terminal frame: a request finishes exactly once.
+    finished: bool = False
+
+    def send(self, event: str, **fields: object) -> None:
+        """Emit one event frame for this request."""
+        self.client.send(protocol.event(event, self.req_id, **fields))
+
+
+@dataclass
+class Subscriber:
+    """One request's attachment to one job."""
+
+    request: Request
+    #: How this request attached (run / coalesced) — echoed on results.
+    source: str = protocol.SOURCE_NEW
+    wants_timeline: bool = True
+
+
+class ReproServer:
+    """Asyncio TCP JSON-lines simulation server."""
+
+    def __init__(
+        self,
+        host: str = protocol.DEFAULT_HOST,
+        port: int = protocol.DEFAULT_PORT,
+        jobs: int = 2,
+        store: Optional[ResultStore] = None,
+        use_store: bool = True,
+        log=None,
+        store_max_bytes: Optional[int] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.jobs = max(1, jobs)
+        self.store = store if store is not None else get_store()
+        self.use_store = use_store
+        self.log = log
+        self.store_max_bytes = store_max_bytes
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._queue = JobQueue()
+        #: Live (queued or running) jobs by cache key — the single-flight
+        #: table identical submissions coalesce through.
+        self._jobs: Dict[str, Job] = {}
+        self._running: Set[asyncio.Task] = set()
+        self._clients: Dict[str, ClientConn] = {}
+        self._client_ids = count(1)
+        self._wake = asyncio.Event()
+        self._draining = False
+        self._closed = asyncio.Event()
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self.stats = StatGroup("server")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket, warm-scan the store, start the scheduler."""
+        entries = self.store.scan()
+        self._log("serve_start", host=self.host, port=self.port,
+                  jobs=self.jobs, store=str(self.store.directory),
+                  store_entries=entries)
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port, limit=LINE_LIMIT)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._scheduler_task = asyncio.ensure_future(self._scheduler())
+
+    async def serve_until_closed(self) -> None:
+        """Run until a drain shutdown completes."""
+        await self._closed.wait()
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain (idempotent, callable from signals).
+
+        New submissions are refused from this point; queued and running
+        jobs finish and their subscribers are answered before the
+        server closes.
+        """
+        if not self._draining:
+            self._draining = True
+            self._wake.set()
+
+    async def aclose(self) -> None:
+        """Drain and fully close (awaitable form of shutdown)."""
+        self.request_shutdown()
+        await self._closed.wait()
+
+    async def _finish_close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for client in list(self._clients.values()):
+            client.send(protocol.event("server_shutdown", None))
+            client.closed = True
+            client.outbox.put_nowait(None)
+        self._log("serve_stop", **self.status_dict()["counters"])
+        self._closed.set()
+
+    def status_dict(self) -> Dict[str, object]:
+        """The ``status`` frame body: counters, queue, store, clients."""
+        return {
+            "counters": self.stats.as_dict(),
+            "queued": len(self._queue),
+            "running": len(self._running),
+            "clients": len(self._clients),
+            "draining": self._draining,
+            "store": self.store.stats(),
+        }
+
+    def _log(self, name: str, **fields: object) -> None:
+        """One structured telemetry event (``name`` is not ``kind``:
+        frames/fields may themselves carry a ``kind`` entry)."""
+        if self.log is not None:
+            self.log.event(name, **fields)
+
+    # ------------------------------------------------------------------
+    # Client handling
+    # ------------------------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        client = ClientConn(f"c{next(self._client_ids)}", reader, writer)
+        self._clients[client.id] = client
+        self.stats.counter("connections").add()
+        self._log("client_connected", client=client.id)
+        writer_task = asyncio.ensure_future(self._client_writer(client))
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                await self._handle_frame(client, line)
+        finally:
+            self._clients.pop(client.id, None)
+            self._unsubscribe_client(client)
+            client.closed = True
+            client.outbox.put_nowait(None)
+            with contextlib.suppress(Exception):
+                await writer_task
+            with contextlib.suppress(Exception):
+                writer.close()
+            self._log("client_disconnected", client=client.id)
+
+    async def _client_writer(self, client: ClientConn) -> None:
+        """Drain one client's outbox onto its socket."""
+        while True:
+            frame = await client.outbox.get()
+            if frame is None:
+                return
+            try:
+                client.writer.write(protocol.encode(frame))
+                await client.writer.drain()
+            except (ConnectionError, RuntimeError):
+                client.closed = True
+                return
+
+    def _unsubscribe_client(self, client: ClientConn) -> None:
+        """Drop a departed client's subscriptions; cancel orphan jobs.
+
+        Running jobs always finish (their result warms the store — the
+        work is never wasted), but a *queued* job nobody is waiting for
+        any more is cancelled to give its slot to live requests.
+        """
+        for key, job in list(self._jobs.items()):
+            job.subscribers = [
+                sub for sub in job.subscribers
+                if sub.request.client is not client  # type: ignore[union-attr]
+            ]
+            if not job.subscribers and self._queue.cancel(job):
+                del self._jobs[key]
+                self.stats.counter("jobs_cancelled").add()
+                self._log("job_cancelled", key=key, spec=job.describe())
+
+    async def _handle_frame(self, client: ClientConn, line: bytes) -> None:
+        try:
+            frame = protocol.decode(line)
+            op = protocol.validate_request(frame)
+        except ProtocolError as error:
+            self.stats.counter("bad_frames").add()
+            client.send(protocol.event("error", None, message=str(error)))
+            return
+        req_id = frame["id"]
+        self.stats.counter("requests").add()
+        try:
+            if op == "submit":
+                await self._handle_submit(client, req_id, frame)
+            elif op == "watch":
+                self._handle_watch(client, req_id, frame)
+            elif op == "status":
+                client.send(protocol.event("status", req_id,
+                                           **self.status_dict()))
+                client.send(protocol.event("done", req_id, ok=True))
+            elif op == "shutdown":
+                client.send(protocol.event("done", req_id, ok=True))
+                self.request_shutdown()
+        except ProtocolError as error:
+            self.stats.counter("bad_frames").add()
+            client.send(protocol.event("error", req_id, message=str(error)))
+            client.send(protocol.event("done", req_id, ok=False))
+
+    # ------------------------------------------------------------------
+    # Submission: normalise -> dedup -> queue
+    # ------------------------------------------------------------------
+
+    async def _handle_submit(self, client: ClientConn, req_id: object,
+                             frame: Dict[str, object]) -> None:
+        if self._draining:
+            client.send(protocol.event("error", req_id,
+                                       message="server is shutting down"))
+            client.send(protocol.event("done", req_id, ok=False))
+            return
+        kind = str(frame["kind"])
+        config = protocol.job_config_from_wire(frame)
+        specs, finalize = self._expand_submit(kind, frame)
+        request = Request(
+            client, req_id, kind,
+            wants_timeline=bool(frame.get("timeline", kind == "bench")),
+            finalize=finalize)
+        unique: List[Tuple[str, RunSpec]] = []
+        seen: Set[str] = set()
+        for spec in specs:
+            key = spec.cache_key()
+            if key not in seen:
+                seen.add(key)
+                unique.append((key, spec))
+        request.total = len(unique)
+        # Attach everything before sending a single frame, so the ack
+        # (with every job's routing) is always the first thing a client
+        # reads — store-hit results follow it, never precede it.
+        attachments: List[Dict[str, object]] = []
+        store_hits: List[Tuple[str, Dict[str, object]]] = []
+        for key, spec in unique:
+            self.stats.counter("specs_submitted").add()
+            attachments.append(
+                self._attach_spec(request, spec, key, config, store_hits))
+        request.send("ack", protocol_version=protocol.PROTOCOL_VERSION,
+                     kind=kind, jobs=attachments, total=request.total)
+        self._log("request", client=client.id, kind=kind,
+                  total=request.total,
+                  coalesced=sum(1 for a in attachments
+                                if a["source"] == protocol.SOURCE_COALESCED),
+                  store=len(store_hits))
+        for key, metrics in store_hits:
+            self._deliver_result(request, key, metrics,
+                                 protocol.SOURCE_STORE)
+        self._maybe_finish(request)
+        self._wake.set()
+
+    def _expand_submit(
+        self, kind: str, frame: Dict[str, object]
+    ) -> Tuple[List[RunSpec], Optional[Callable[[], Dict[str, object]]]]:
+        """Turn one submit frame into specs + an optional tabulator."""
+        if kind == "bench":
+            spec = protocol.spec_from_wire(
+                frame.get("spec") or {})  # type: ignore[arg-type]
+            return [spec], None
+        if kind == "experiment":
+            return self._expand_experiment(frame)
+        if kind == "sweep":
+            return self._expand_sweep(frame)
+        if kind == "validate":
+            return self._expand_validate(frame)
+        raise ProtocolError(f"unknown submit kind {kind!r}")
+
+    def _expand_experiment(self, frame):
+        from ..experiments.registry import (
+            EXPERIMENTS,
+            plan_experiment,
+            run_experiment,
+        )
+
+        experiment_id = str(frame.get("experiment") or "")
+        if experiment_id not in EXPERIMENTS:
+            raise ProtocolError(f"unknown experiment {experiment_id!r}")
+        references = frame.get("references")
+        references = int(references) if references is not None else None
+        specs = plan_experiment(experiment_id, references=references)
+
+        def finalize() -> Dict[str, object]:
+            result = run_experiment(experiment_id, references=references,
+                                    use_cache=True)
+            return {"experiment": experiment_id,
+                    "result": result.to_dict(),
+                    "rendered": result.render()}
+
+        return specs, finalize
+
+    def _expand_sweep(self, frame):
+        workloads = frame.get("workloads") or []
+        designs = frame.get("designs") or []
+        if not isinstance(workloads, list) or not workloads:
+            raise ProtocolError("sweep needs a non-empty 'workloads' list")
+        if not isinstance(designs, list) or not designs:
+            raise ProtocolError("sweep needs a non-empty 'designs' list")
+        references = frame.get("references")
+        references = int(references) if references is not None else None
+        seed = int(frame.get("seed", 1))  # type: ignore[arg-type]
+        specs = [RunSpec(str(w), str(d), references, seed)
+                 for w in workloads for d in designs]
+
+        def finalize() -> Dict[str, object]:
+            cells: Dict[str, Dict[str, object]] = {}
+            for spec in specs:
+                metrics = self.store.load(spec.cache_key())
+                if metrics is None:
+                    continue
+                cells.setdefault(spec.workload, {})[spec.design] = {
+                    "ipc": metrics.ipc,
+                    "mpki": metrics.mpki,
+                    "mean_read_latency_ns": metrics.mean_read_latency_ns,
+                    "key": spec.cache_key(),
+                }
+            return {"sweep": {"workloads": workloads, "designs": designs,
+                              "references": references, "seed": seed},
+                    "cells": cells}
+
+        return specs, finalize
+
+    def _expand_validate(self, frame):
+        from ..validate import load_ledger, validate
+        from ..validate.engine import SCALES, _needed_experiments
+        from ..exec.plan import plan_experiments
+
+        scale = str(frame.get("scale", "ci"))
+        if scale not in SCALES:
+            raise ProtocolError(f"unknown scale {scale!r}")
+        only_field = frame.get("only")
+        only = ([str(o) for o in only_field]
+                if isinstance(only_field, list) else None)
+        ledger = load_ledger(None)
+        selected = ledger.select(scale=scale, only=only)
+        specs: List[RunSpec] = []
+        for experiment_id in _needed_experiments(selected):
+            refs = SCALES[scale].refs_for(experiment_id)
+            specs.extend(plan_experiments([experiment_id],
+                                          references=refs).specs)
+
+        def finalize() -> Dict[str, object]:
+            report = validate(ledger, scale=scale, only=only,
+                              use_cache=True, jobs=1)
+            return {"validate": report.to_dict(),
+                    "rendered": report.render()}
+
+        return specs, finalize
+
+    def _attach_spec(self, request: Request, spec: RunSpec, key: str,
+                     config: Dict[str, object],
+                     store_hits: List[Tuple[str, Dict[str, object]]]
+                     ) -> Dict[str, object]:
+        """Route one spec: store answer, coalesce, or enqueue fresh."""
+        if self.use_store and key not in self._jobs:
+            metrics = self.store.load(key)
+            if metrics is not None:
+                self.stats.counter("store_answers").add()
+                store_hits.append((key, metrics.to_dict()))
+                return {"key": key, "source": protocol.SOURCE_STORE}
+        job = self._jobs.get(key)
+        if job is not None:
+            sub = Subscriber(request, protocol.SOURCE_COALESCED,
+                             request.wants_timeline)
+            job.subscribers.append(sub)
+            request.pending.add(key)
+            priority = int(config["priority"])  # type: ignore[arg-type]
+            self._queue.reprioritize(job, priority)
+            self.stats.counter("jobs_coalesced").add()
+            return {"key": key, "source": protocol.SOURCE_COALESCED}
+        job = Job(key=key, spec=spec,
+                  priority=int(config["priority"]),  # type: ignore[arg-type]
+                  client=request.client.id,
+                  retries=int(config["retries"]),  # type: ignore[arg-type]
+                  timeout_s=config["timeout_s"])  # type: ignore[arg-type]
+        job.subscribers.append(
+            Subscriber(request, protocol.SOURCE_NEW, request.wants_timeline))
+        request.pending.add(key)
+        self._jobs[key] = job
+        self._queue.push(job)
+        self.stats.counter("jobs_created").add()
+        self._log("job_queued", key=key, spec=job.describe(),
+                  priority=job.priority, client=request.client.id)
+        return {"key": key, "source": protocol.SOURCE_NEW,
+                "position": len(self._queue)}
+
+    def _handle_watch(self, client: ClientConn, req_id: object,
+                      frame: Dict[str, object]) -> None:
+        key = str(frame.get("key") or "")
+        if not key:
+            raise ProtocolError("watch needs a 'key'")
+        request = Request(client, req_id, "watch", wants_timeline=True)
+        request.total = 1
+        job = self._jobs.get(key)
+        if job is not None:
+            job.subscribers.append(
+                Subscriber(request, protocol.SOURCE_COALESCED, True))
+            request.pending.add(key)
+            request.send("ack", protocol_version=protocol.PROTOCOL_VERSION,
+                         kind="watch",
+                         jobs=[{"key": key,
+                                "source": protocol.SOURCE_COALESCED}],
+                         total=1)
+            return
+        metrics = self.store.load(key) if self.use_store else None
+        if metrics is not None:
+            request.send("ack", protocol_version=protocol.PROTOCOL_VERSION,
+                         kind="watch",
+                         jobs=[{"key": key, "source": protocol.SOURCE_STORE}],
+                         total=1)
+            self._deliver_result(request, key, metrics.to_dict(),
+                                 protocol.SOURCE_STORE)
+            return
+        raise ProtocolError(f"nothing known about key {key!r}")
+
+    # ------------------------------------------------------------------
+    # Scheduling and workers
+    # ------------------------------------------------------------------
+
+    async def _scheduler(self) -> None:
+        """Feed queued jobs onto free worker slots until shutdown."""
+        while True:
+            while len(self._running) < self.jobs:
+                job = self._queue.pop()
+                if job is None:
+                    break
+                task = asyncio.ensure_future(self._run_job(job))
+                self._running.add(task)
+                task.add_done_callback(self._job_task_done)
+            if self._draining and not self._queue and not self._running:
+                break
+            self._wake.clear()
+            await self._wake.wait()
+        await self._finish_close()
+
+    def _job_task_done(self, task: asyncio.Task) -> None:
+        self._running.discard(task)
+        if not task.cancelled() and task.exception() is not None:
+            # A scheduler bug, not a worker failure: record loudly.
+            self.stats.counter("internal_errors").add()
+            self._log("internal_error", error=repr(task.exception()))
+        self._wake.set()
+
+    def _worker_env(self) -> Dict[str, str]:
+        """Environment for worker subprocesses.
+
+        Ensures the package is importable and points the worker at the
+        *server's* store directory, so results land where the server
+        (and every other client) will look for them, regardless of the
+        environment the server itself inherited.
+        """
+        env = dict(os.environ)
+        package_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (package_root if not existing
+                             else package_root + os.pathsep + existing)
+        env["REPRO_CACHE_DIR"] = str(self.store.directory)
+        return env
+
+    async def _run_job(self, job: Job) -> None:
+        """Run one job to completion with retries and timeouts."""
+        self._log("job_started", key=job.key, spec=job.describe())
+        failure = "job never attempted"
+        for attempt in range(job.retries + 1):
+            job.attempts = attempt + 1
+            if attempt:
+                self.stats.counter("worker_retries").add()
+                self._broadcast(job, "retry", attempt=attempt,
+                                reason=failure)
+            try:
+                failure = await asyncio.wait_for(
+                    self._attempt(job), timeout=job.timeout_s)
+            except asyncio.TimeoutError:
+                self.stats.counter("worker_timeouts").add()
+                failure = (f"timed out after {job.timeout_s}s "
+                           f"(attempt {attempt + 1})")
+            if failure is None:
+                self._complete_job(job)
+                return
+            self.stats.counter("worker_failures").add()
+            self._log("job_failure", key=job.key, spec=job.describe(),
+                      reason=failure, attempt=attempt,
+                      will_retry=attempt < job.retries)
+        self._fail_job(job, failure)
+
+    async def _attempt(self, job: Job) -> Optional[str]:
+        """One worker-subprocess attempt; ``None`` on success.
+
+        Cancellation (the timeout above, or task teardown) kills the
+        subprocess — the honest cancellation a ``ProcessPoolExecutor``
+        cannot offer for an already-running task.
+        """
+        proc = await asyncio.create_subprocess_exec(
+            sys.executable, "-m", "repro.service.worker",
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.PIPE,
+            limit=LINE_LIMIT,
+            env=self._worker_env())
+        stderr_task = asyncio.ensure_future(
+            proc.stderr.read())  # type: ignore[union-attr]
+        error: Optional[str] = None
+        got_result = False
+        try:
+            payload = {"spec": protocol.spec_to_wire(job.spec),
+                       "use_store": self.use_store, "timeline": True}
+            assert proc.stdin is not None and proc.stdout is not None
+            proc.stdin.write(protocol.encode(payload))
+            await proc.stdin.drain()
+            proc.stdin.close()
+            while True:
+                line = await proc.stdout.readline()
+                if not line:
+                    break
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue  # stray print from deep inside the model
+                got, error = self._on_worker_event(job, event, got_result)
+                got_result = got_result or got
+            await proc.wait()
+        except asyncio.CancelledError:
+            with contextlib.suppress(ProcessLookupError):
+                proc.kill()
+            with contextlib.suppress(Exception):
+                await proc.wait()
+            stderr_task.cancel()
+            raise
+        stderr = (await stderr_task).decode("utf-8", "replace").strip()
+        if got_result:
+            return None
+        if error is None:
+            tail = stderr[-400:] if stderr else "no stderr"
+            error = (f"worker exited {proc.returncode} without a result "
+                     f"({tail})")
+        return error
+
+    def _on_worker_event(self, job: Job, event: Dict[str, object],
+                         had_result: bool) -> Tuple[bool, Optional[str]]:
+        """Dispatch one worker stdout event; returns (result?, error)."""
+        kind = event.get("event")
+        if kind == "worker_started":
+            self._broadcast(job, "started", pid=event.get("pid"),
+                            refs_total=event.get("refs_total"),
+                            attempt=job.attempts)
+            return False, None
+        if kind == "window":
+            self.stats.counter("windows_streamed").add()
+            self._broadcast(job, "progress",
+                            refs_done=event.get("refs_done"),
+                            refs_total=event.get("refs_total"))
+            self._broadcast(job, "timeline", window=event.get("window"),
+                            timeline_only=True)
+            return False, None
+        if kind == "worker_result":
+            if not had_result:
+                job.result = event.get("metrics")  # type: ignore[assignment]
+                if event.get("from_store"):
+                    self.stats.counter("store_answers").add()
+                else:
+                    self.stats.counter("jobs_simulated").add()
+                self._log("job_result", key=job.key, spec=job.describe(),
+                          wall_s=event.get("wall_s"),
+                          from_store=bool(event.get("from_store")))
+            return True, None
+        if kind == "worker_error":
+            return False, str(event.get("message", "unknown worker error"))
+        return False, None
+
+    # ------------------------------------------------------------------
+    # Completion fan-out
+    # ------------------------------------------------------------------
+
+    def _broadcast(self, job: Job, kind: str, timeline_only: bool = False,
+                   **fields: object) -> None:
+        """Send one job event to every (interested) subscriber."""
+        for sub in job.subscribers:  # type: ignore[assignment]
+            if timeline_only and not sub.wants_timeline:
+                continue
+            sub.request.send(kind, key=job.key, **fields)
+
+    def _complete_job(self, job: Job) -> None:
+        job.state = DONE
+        self._jobs.pop(job.key, None)
+        if self.store_max_bytes is not None:
+            self.store.gc(max_bytes=self.store_max_bytes)
+        subscribers = list(job.subscribers)
+        job.subscribers.clear()
+        for sub in subscribers:
+            self._deliver_result(sub.request, job.key, job.result or {},
+                                 sub.source)
+        self._wake.set()
+
+    def _fail_job(self, job: Job, reason: Optional[str]) -> None:
+        job.state = FAILED
+        job.error = reason
+        self._jobs.pop(job.key, None)
+        self.stats.counter("jobs_failed").add()
+        subscribers = list(job.subscribers)
+        job.subscribers.clear()
+        message = (f"{job.describe()}: {reason} "
+                   f"(after {job.attempts} attempt(s))")
+        for sub in subscribers:
+            request = sub.request
+            request.failed[job.key] = message
+            request.send("error", key=job.key, message=message)
+            request.pending.discard(job.key)
+            self._maybe_finish(request)
+        self._wake.set()
+
+    def _deliver_result(self, request: Request, key: str,
+                        metrics: Dict[str, object], source: str) -> None:
+        """Hand one finished job to one request; finish it if complete."""
+        request.completed += 1
+        request.pending.discard(key)
+        if request.kind in ("bench", "watch"):
+            request.send("result", key=key, source=source, metrics=metrics)
+        else:
+            request.send("job_done", key=key, source=source,
+                         done=request.completed, total=request.total)
+        self._maybe_finish(request)
+
+    def _maybe_finish(self, request: Request) -> None:
+        """Close a request exactly once, after its last job settles.
+
+        A request with any failed job never tabulates (the inputs are
+        incomplete, and re-simulating inline would block the loop); it
+        closes with ``ok: false`` and the failed keys instead.
+        """
+        if request.finished or request.pending:
+            return
+        if request.completed + len(request.failed) < request.total:
+            return
+        request.finished = True
+        if request.failed:
+            request.send("done", ok=False, failed=sorted(request.failed))
+        else:
+            asyncio.ensure_future(self._finish_request(request))
+
+    async def _finish_request(self, request: Request) -> None:
+        """Run a request's tabulation step (if any) and close it out."""
+        if request.finalize is not None:
+            started = time.monotonic()
+            try:
+                final = await asyncio.to_thread(request.finalize)
+            except Exception as error:
+                request.send("error",
+                             message=f"finalize failed: {error!r}")
+                request.send("done", ok=False)
+                return
+            self.stats.counter("finals").add()
+            request.send("final", kind=request.kind,
+                         elapsed_s=round(time.monotonic() - started, 3),
+                         **final)
+        request.send("done", ok=True)

@@ -1,0 +1,141 @@
+"""The per-job worker subprocess: simulate one spec, stream progress.
+
+``python -m repro.service.worker`` reads one JSON job description from
+stdin::
+
+    {"spec": {...RunSpec wire form...}, "use_store": true,
+     "timeline": true}
+
+and emits JSON-lines events on stdout as the simulation advances:
+
+* ``worker_started`` — pid, cache key, total reference budget;
+* ``window`` — one phase-resolved timeline window the moment the
+  sampler closes it (this is what makes server-side progress *live*:
+  windows arrive mid-simulation, roughly 24 per run, not at the end);
+* ``worker_result`` — the final ``RunMetrics`` dict, wall time, and
+  whether the store answered without simulating;
+* ``worker_error`` — exception text + traceback, exit code 1.
+
+The worker writes its result through the shared
+:class:`repro.service.store.ResultStore` *before* emitting
+``worker_result``, so by the time the server broadcasts completion the
+result is durable and any later identical request is a store hit.
+
+A subprocess (rather than a ``ProcessPoolExecutor`` task) is what gives
+the server three things the offline pool cannot: a live per-job event
+channel (this stdout), honest cancellation (kill the process group) and
+per-job timeouts that reclaim the slot immediately.  The simulation
+entry points are exactly the ones the offline pool uses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+import traceback
+from typing import Callable, Dict, TextIO
+
+from ..sim.runner import (
+    default_timeline_interval,
+    fresh_run,
+    make_config,
+    resolve_run_shape,
+)
+from .protocol import ProtocolError, spec_from_wire
+from .store import get_store
+
+Emit = Callable[[Dict[str, object]], None]
+
+
+def run_job(payload: Dict[str, object], emit: Emit) -> int:
+    """Execute one job description; returns a process exit code.
+
+    Factored out of :func:`main` so tests can drive the worker
+    in-process with a capturing ``emit`` instead of a subprocess.
+    """
+    try:
+        spec = spec_from_wire(payload.get("spec", {}))  # type: ignore[arg-type]
+    except ProtocolError as error:
+        emit({"event": "worker_error", "message": str(error)})
+        return 1
+    use_store = bool(payload.get("use_store", True))
+    timeline = bool(payload.get("timeline", True))
+    key = spec.cache_key()
+    store = get_store()
+    started = time.monotonic()
+    if use_store:
+        cached = store.load(key)
+        if cached is not None:
+            emit({"event": "worker_result", "key": key,
+                  "metrics": cached.to_dict(), "from_store": True,
+                  "wall_s": time.monotonic() - started})
+            return 0
+    num_cores, references = resolve_run_shape(spec.workload, spec.references)
+    config = make_config(spec.design, num_cores=num_cores, seed=spec.seed,
+                         asym=spec.asym, controller=spec.controller)
+    # Progress is measured in retired references summed over cores; the
+    # first ~20% is warmup (windows are measurement-relative, so the
+    # warmup budget is added back for an honest percentage).
+    warmup_refs = int(references * 0.2) * num_cores
+    refs_total = references * num_cores
+    emit({"event": "worker_started", "key": key, "pid": os.getpid(),
+          "refs_total": refs_total})
+    interval = (default_timeline_interval(references, num_cores)
+                if timeline else None)
+
+    def on_window(window: Dict[str, object]) -> None:
+        emit({"event": "window", "key": key,
+              "refs_done": min(refs_total,
+                               warmup_refs + int(window["end_refs"])),
+              "refs_total": refs_total, "window": window})
+
+    try:
+        metrics = fresh_run(spec.workload, config, references, spec.seed,
+                            timeline_interval=interval,
+                            on_window=on_window if timeline else None)
+    except Exception as error:  # surface, don't die silently
+        emit({"event": "worker_error", "key": key, "message": repr(error),
+              "traceback": traceback.format_exc()})
+        return 1
+    if use_store:
+        store.store(key, metrics)
+    emit({"event": "worker_result", "key": key,
+          "metrics": metrics.to_dict(), "from_store": False,
+          "wall_s": time.monotonic() - started})
+    return 0
+
+
+def _stdout_emitter(stream: TextIO) -> Emit:
+    """An ``emit`` that writes one flushed JSON line per event.
+
+    Flushing per event is the streaming contract: the server reads this
+    pipe with ``readline`` and forwards each event to subscribers as it
+    arrives, so buffering here would turn live progress into an
+    end-of-run dump.
+    """
+    def emit(event: Dict[str, object]) -> None:
+        stream.write(json.dumps(event, separators=(",", ":")) + "\n")
+        stream.flush()
+    return emit
+
+
+def main() -> int:
+    """Subprocess entry point: one job from stdin, events to stdout."""
+    emit = _stdout_emitter(sys.stdout)
+    line = sys.stdin.readline()
+    if not line.strip():
+        emit({"event": "worker_error", "message": "empty job on stdin"})
+        return 1
+    try:
+        payload = json.loads(line)
+    except ValueError as error:
+        emit({"event": "worker_error",
+              "message": f"undecodable job: {error}"})
+        return 1
+    return run_job(payload, emit)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,19 +1,19 @@
 """Cached experiment runner.
 
 Experiments are pure functions of (workload, design, config, seed, length),
-so results are memoised on disk as JSON under ``.repro_cache/`` (override
-with ``REPRO_CACHE_DIR``; disable with ``REPRO_NO_CACHE=1``).  This keeps
-the benchmark harness fast when regenerating multiple figures that share
-runs (e.g. every figure needs the standard baseline).
+so results are memoised in the content-addressed result store under
+``.repro_cache/`` (override with ``REPRO_CACHE_DIR``; disable with
+``REPRO_NO_CACHE=1``; see :mod:`repro.service.store`).  This keeps the
+benchmark harness fast when regenerating multiple figures that share
+runs (e.g. every figure needs the standard baseline), and lets the job
+server (``repro serve``) answer completed work without re-simulating.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import tempfile
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..common.config import AsymmetricConfig, ControllerConfig, SystemConfig
 from ..common.rng import derive_seed
@@ -46,57 +46,31 @@ def default_timeline_interval(references: int, num_cores: int = 1) -> int:
 
 def cache_dir() -> Path:
     """Directory holding memoised run results."""
-    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+    from ..service.store import store_root
+
+    return store_root()
 
 
 def _cache_enabled() -> bool:
     return os.environ.get("REPRO_NO_CACHE", "0") != "1"
 
 
-def _cache_path(key: str) -> Path:
-    return cache_dir() / f"{key}.json"
-
-
 def _load_cached(key: str) -> Optional[RunMetrics]:
+    """Recall one result from the store (``None`` off-cache or on miss)."""
     if not _cache_enabled():
         return None
-    path = _cache_path(key)
-    if not path.exists():
-        return None
-    try:
-        with path.open() as stream:
-            return RunMetrics.from_dict(json.load(stream))
-    except (ValueError, TypeError, OSError):
-        # A corrupt entry (e.g. leftover of a crashed pre-atomic writer)
-        # is a miss; drop it so the next store replaces it wholesale.
-        try:
-            path.unlink()
-        except OSError:
-            pass
-        return None
+    from ..service.store import get_store
+
+    return get_store().load(key)
 
 
 def _store_cached(key: str, metrics: RunMetrics) -> None:
+    """Persist one result through the store (no-op with caching off)."""
     if not _cache_enabled():
         return
-    directory = cache_dir()
-    directory.mkdir(parents=True, exist_ok=True)
-    path = _cache_path(key)
-    # Write-to-temp + atomic rename: a concurrent reader sees either the
-    # old file or the complete new one, never truncated JSON.  Racing
-    # writers both produce valid files and the last rename wins.
-    fd, tmp_name = tempfile.mkstemp(dir=str(directory),
-                                    prefix=f".{key}.", suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as stream:
-            json.dump(metrics.to_dict(), stream)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+    from ..service.store import get_store
+
+    get_store().store(key, metrics)
 
 
 def make_config(
@@ -176,6 +150,7 @@ def fresh_run(
     seed: int = 1,
     tracer=None,
     timeline_interval: Optional[int] = None,
+    on_window: Optional[Callable[[Dict[str, object]], None]] = None,
 ) -> RunMetrics:
     """Simulate one run from scratch (no cache involvement).
 
@@ -183,7 +158,9 @@ def fresh_run(
     fresh trace iterators and simulates.  ``tracer`` is forwarded to
     :func:`repro.sim.system.simulate` for event capture;
     ``timeline_interval`` (references per window) enables phase-resolved
-    timeline sampling.
+    timeline sampling, and ``on_window`` then observes each sampled
+    window as it closes — the hook the job server's streaming workers
+    report incremental progress through.
     """
     row_heat: Optional[Dict[int, int]] = None
     if config.design in PROFILED_DESIGNS:
@@ -203,7 +180,8 @@ def fresh_run(
     traces = _workload_traces(workload, config, seed)
     return simulate(config, traces, references,
                     workload_name=workload, row_heat=row_heat,
-                    tracer=tracer, timeline_interval_refs=timeline_interval)
+                    tracer=tracer, timeline_interval_refs=timeline_interval,
+                    on_window=on_window)
 
 
 def run_workload(

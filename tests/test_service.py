@@ -1,0 +1,402 @@
+"""Tests for the job service: protocol, queue, worker, server e2e.
+
+The end-to-end tests run a real :class:`ReproServer` on its own event
+loop in a background thread (port 0 = ephemeral), talk to it with the
+blocking :class:`ServiceClient` over real sockets, and spawn real
+worker subprocesses — the same moving parts as ``repro serve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.common.config import AsymmetricConfig
+from repro.exec.plan import RunSpec
+from repro.service import protocol
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.queue import CANCELLED, Job, JobQueue
+from repro.service.server import ReproServer
+from repro.service.store import get_store
+from repro.service.worker import run_job
+
+REFS = 1500
+#: Large enough that a second client can attach while the first runs.
+SLOW_REFS = 60_000
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    return tmp_path
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+
+class TestProtocol:
+    def test_frame_roundtrip(self):
+        frame = {"op": "submit", "id": 7, "kind": "bench"}
+        assert protocol.decode(protocol.encode(frame)) == frame
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"[1, 2]\n")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"not json\n")
+
+    def test_validate_request_envelope(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.validate_request({"op": "nope", "id": 1})
+        with pytest.raises(protocol.ProtocolError):
+            protocol.validate_request({"op": "submit"})  # no id
+        with pytest.raises(protocol.ProtocolError):
+            protocol.validate_request({"op": "submit", "id": 1,
+                                       "kind": "mystery"})
+        assert protocol.validate_request(
+            {"op": "status", "id": 1}) == "status"
+
+    def test_spec_wire_roundtrip(self):
+        spec = RunSpec("mcf", "das", 5000, 3,
+                       asym=AsymmetricConfig(fast_ratio=0.25))
+        rebuilt = protocol.spec_from_wire(protocol.spec_to_wire(spec))
+        assert rebuilt == spec
+        assert rebuilt.cache_key() == spec.cache_key()
+
+    def test_spec_from_wire_rejects_garbage(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.spec_from_wire({})  # no workload
+        with pytest.raises(protocol.ProtocolError):
+            protocol.spec_from_wire({"workload": "mcf",
+                                     "asym": {"no_such_field": 1}})
+
+    def test_job_config_defaults_follow_executor(self):
+        from repro.exec.pool import DEFAULT_RETRIES
+
+        config = protocol.job_config_from_wire({"op": "submit", "id": 1})
+        assert config == {"priority": 0, "retries": DEFAULT_RETRIES,
+                          "timeout_s": None}
+        config = protocol.job_config_from_wire(
+            {"priority": -5, "retries": 0, "timeout_s": 2.5})
+        assert config == {"priority": -5, "retries": 0, "timeout_s": 2.5}
+
+
+# ----------------------------------------------------------------------
+# Queue
+# ----------------------------------------------------------------------
+
+def _job(key: str, priority: int = 0, client: str = "c1") -> Job:
+    return Job(key=key, spec=RunSpec("mcf", "das", 1000, 1),
+               priority=priority, client=client)
+
+
+class TestJobQueue:
+    def test_priority_orders_pops(self):
+        queue = JobQueue()
+        queue.push(_job("late", priority=5))
+        queue.push(_job("early", priority=-5))
+        queue.push(_job("mid", priority=0))
+        assert [queue.pop().key for _ in range(3)] == \
+            ["early", "mid", "late"]
+
+    def test_fairness_round_robins_clients(self):
+        """A one-job client is not starved behind a bulk submitter."""
+        queue = JobQueue()
+        for index in range(3):
+            queue.push(_job(f"bulk{index}", client="hog"))
+        queue.push(_job("single", client="polite"))
+        popped = [queue.pop().key for _ in range(4)]
+        # hog's first job (rank 0) and polite's job (rank 0) lead, then
+        # the hog's backlog (ranks 1, 2).
+        assert popped == ["bulk0", "single", "bulk1", "bulk2"]
+
+    def test_cancel_skips_lazily(self):
+        queue = JobQueue()
+        victim = _job("victim")
+        queue.push(victim)
+        queue.push(_job("keeper"))
+        assert queue.cancel(victim)
+        assert victim.state == CANCELLED
+        assert len(queue) == 1
+        assert queue.pop().key == "keeper"
+        assert queue.pop() is None
+
+    def test_reprioritize_only_raises_urgency(self):
+        queue = JobQueue()
+        job = _job("shared", priority=0)
+        queue.push(job)
+        assert not queue.reprioritize(job, 5)  # demotion refused
+        assert queue.reprioritize(job, -1)
+        queue.push(_job("other", priority=0))
+        assert queue.pop().key == "shared"
+        # The superseded heap entry must not resurrect the job.
+        assert queue.pop().key == "other"
+        assert queue.pop() is None
+
+    def test_running_job_cannot_be_cancelled(self):
+        queue = JobQueue()
+        job = _job("k")
+        queue.push(job)
+        assert queue.pop() is job
+        assert not queue.cancel(job)
+
+
+# ----------------------------------------------------------------------
+# Worker (in-process)
+# ----------------------------------------------------------------------
+
+class TestWorker:
+    def test_store_short_circuit(self):
+        spec = RunSpec("mcf", "das", REFS, 1)
+        spec.run(use_cache=True)  # warm the store
+        events = []
+        code = run_job({"spec": protocol.spec_to_wire(spec)},
+                       events.append)
+        assert code == 0
+        kinds = [event["event"] for event in events]
+        assert kinds == ["worker_result"]
+        assert events[0]["from_store"] is True
+
+    def test_fresh_run_streams_windows(self):
+        spec = RunSpec("mcf", "das", REFS, 1)
+        events = []
+        code = run_job({"spec": protocol.spec_to_wire(spec)},
+                       events.append)
+        assert code == 0
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "worker_started"
+        assert kinds[-1] == "worker_result"
+        windows = [e for e in events if e["event"] == "window"]
+        assert len(windows) >= 2  # streamed, not a terminal dump
+        assert events[-1]["from_store"] is False
+        # the result is durable before worker_result is emitted
+        assert get_store().contains(spec.cache_key())
+
+    def test_bad_spec_is_an_error_event(self):
+        events = []
+        code = run_job({"spec": {"workload": "no-such-workload"}},
+                       events.append)
+        assert code == 1
+        assert events[-1]["event"] == "worker_error"
+
+
+# ----------------------------------------------------------------------
+# Server end-to-end
+# ----------------------------------------------------------------------
+
+class ServerHarness:
+    """A real server on its own loop in a daemon thread."""
+
+    def __init__(self, **kwargs) -> None:
+        kwargs.setdefault("port", 0)
+        kwargs.setdefault("jobs", 2)
+        self.loop = asyncio.new_event_loop()
+        self.server: ReproServer = None  # type: ignore[assignment]
+        self._ready = threading.Event()
+        self._kwargs = kwargs
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self._ready.wait(timeout=20), "server failed to start"
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+
+        async def main() -> None:
+            self.server = ReproServer(**self._kwargs)
+            await self.server.start()
+            self._ready.set()
+            await self.server.serve_until_closed()
+
+        try:
+            self.loop.run_until_complete(main())
+        finally:
+            self.loop.close()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def client(self) -> ServiceClient:
+        return ServiceClient(port=self.port)
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if self.thread.is_alive():
+            self.loop.call_soon_threadsafe(self.server.request_shutdown)
+            self.thread.join(timeout)
+        assert not self.thread.is_alive(), "server failed to drain"
+
+
+@pytest.fixture()
+def harness():
+    instance = ServerHarness()
+    yield instance
+    instance.stop()
+
+
+def _counter(server: ReproServer, name: str) -> int:
+    return server.stats.as_dict().get(name, 0)
+
+
+class TestServerEndToEnd:
+    def test_bench_streams_progress_before_result(self, harness):
+        events = []
+        with harness.client() as client:
+            outcome = client.submit_bench(
+                RunSpec("mcf", "das", REFS, 1),
+                on_event=lambda e: events.append(e["event"]))
+        assert outcome.ok
+        assert list(outcome.sources.values()) == [protocol.SOURCE_NEW]
+        metrics = outcome.single_metrics()
+        assert metrics["workload"] == "mcf"
+        progress = [i for i, k in enumerate(events) if k == "progress"]
+        result = events.index("result")
+        assert len(progress) >= 2, "progress must stream incrementally"
+        assert progress[0] < result
+        assert events.index("ack") == 0
+        assert events[-1] == "done"
+
+    def test_concurrent_identical_submits_coalesce(self, harness):
+        """Two clients, same spec, one simulation, identical results."""
+        spec = RunSpec("mcf", "das", SLOW_REFS, 1)
+        barrier = threading.Barrier(2)
+        outcomes = {}
+
+        def submit(name: str) -> None:
+            with harness.client() as client:
+                barrier.wait(timeout=10)
+                outcomes[name] = client.submit_bench(spec)
+
+        threads = [threading.Thread(target=submit, args=(n,))
+                   for n in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=180)
+        assert set(outcomes) == {"a", "b"}
+        assert outcomes["a"].ok and outcomes["b"].ok
+        assert (outcomes["a"].single_metrics()
+                == outcomes["b"].single_metrics())
+        assert _counter(harness.server, "jobs_simulated") == 1
+        sources = sorted(list(o.sources.values())[0]
+                         for o in outcomes.values())
+        # First submitter schedules the run; the second either coalesced
+        # onto it in flight or (if it lost the race badly) hit the store
+        # — never a second simulation.
+        assert sources[1] == protocol.SOURCE_NEW
+        assert sources[0] in (protocol.SOURCE_COALESCED,
+                              protocol.SOURCE_STORE)
+
+    def test_completed_work_is_answered_from_store(self, harness):
+        spec = RunSpec("mcf", "das", REFS, 1)
+        with harness.client() as client:
+            first = client.submit_bench(spec)
+            second = client.submit_bench(spec)
+        assert list(first.sources.values()) == [protocol.SOURCE_NEW]
+        assert list(second.sources.values()) == [protocol.SOURCE_STORE]
+        assert second.single_metrics() == first.single_metrics()
+        assert _counter(harness.server, "jobs_simulated") == 1
+
+    def test_server_store_honors_cache_dir_env(self, harness, tmp_path):
+        assert harness.server.store.directory == tmp_path / "store"
+        spec = RunSpec("mcf", "das", REFS, 1)
+        with harness.client() as client:
+            assert client.submit_bench(spec).ok
+        assert (tmp_path / "store" / f"{spec.cache_key()}.json").exists()
+
+    def test_watch_unknown_key_fails_cleanly(self, harness):
+        with harness.client() as client:
+            outcome = client.watch("v10-no-such-key")
+            assert not outcome.ok
+            assert outcome.errors
+            # The connection survives the failed request.
+            assert client.status()["clients"] == 1
+
+    def test_watch_recalls_stored_result(self, harness):
+        spec = RunSpec("mcf", "das", REFS, 1)
+        with harness.client() as client:
+            client.submit_bench(spec)
+            outcome = client.watch(spec.cache_key())
+        assert outcome.ok
+        assert list(outcome.sources.values()) == [protocol.SOURCE_STORE]
+        assert outcome.single_metrics()["workload"] == "mcf"
+
+    def test_sweep_tabulates_cells(self, harness):
+        with harness.client() as client:
+            outcome = client.submit_sweep(
+                ["mcf"], ["das", "standard"], references=REFS)
+        assert outcome.ok
+        assert outcome.final is not None
+        cells = outcome.final["cells"]
+        assert set(cells["mcf"]) == {"das", "standard"}
+        assert cells["mcf"]["das"]["ipc"]
+
+    def test_bad_frames_answered_not_fatal(self, harness):
+        with harness.client() as client:
+            client._file.write(b"this is not json\n")
+            client._file.flush()
+            # The server answers with an error frame and keeps serving.
+            assert client.status()["counters"]["bad_frames"] == 1
+
+    def test_submit_during_drain_is_refused(self, harness):
+        """Draining refuses new submissions but finishes in-flight work."""
+        slow = RunSpec("mcf", "das", SLOW_REFS, 2)
+        with harness.client() as holder, harness.client() as late:
+            # Park a slow job without waiting on it: write the frame
+            # raw so this thread keeps control of the socket.
+            frame = {"op": "submit", "kind": "bench", "id": "slow",
+                     "spec": protocol.spec_to_wire(slow)}
+            holder._file.write(protocol.encode(frame))
+            holder._file.flush()
+            time.sleep(0.5)  # let the job reach a worker
+            harness.loop.call_soon_threadsafe(
+                harness.server.request_shutdown)
+            time.sleep(0.3)  # let the drain flag land
+            outcome = late.submit_bench(RunSpec("mcf", "das", REFS, 1))
+            assert not outcome.ok
+            assert any("shutting down" in message
+                       for message in outcome.errors)
+            # The parked job still completes for its subscriber.
+            saw = []
+            while True:
+                line = holder._file.readline()
+                assert line, "connection died before the drained result"
+                event = json.loads(line)
+                saw.append(event.get("event"))
+                if event.get("event") == "done":
+                    assert event.get("ok") is True
+                    break
+            assert "result" in saw
+
+    def test_shutdown_via_protocol_drains(self):
+        instance = ServerHarness()
+        try:
+            with instance.client() as client:
+                client.shutdown()
+            instance.thread.join(30)
+            assert not instance.thread.is_alive()
+            with pytest.raises(ServiceError):
+                ServiceClient(port=instance.port, connect_timeout_s=2)
+        finally:
+            instance.stop()
+
+
+class TestServerRetries:
+    def test_worker_failure_exhausts_retries_and_reports(self, harness):
+        """An unknown workload fails in the worker; the client hears
+        error frames (one per attempt) and a final failed done."""
+        events = []
+        bad = RunSpec("no-such-workload", "das", REFS, 1)
+        with harness.client() as client:
+            outcome = client.submit_bench(
+                bad, retries=1,
+                on_event=lambda e: events.append(e["event"]))
+        assert not outcome.ok
+        assert events.count("retry") == 1
+        assert _counter(harness.server, "worker_failures") == 2
+        assert _counter(harness.server, "jobs_failed") == 1

@@ -1,0 +1,303 @@
+"""Tests for the content-addressed result store (repro.service.store)."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service.store import ResultStore, get_store, store_root
+from repro.sim.metrics import RunMetrics
+from repro.sim.runner import _load_cached, _store_cached, run_workload
+
+REFS = 1500
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(monkeypatch, tmp_path):
+    """Every test gets its own empty store directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    return tmp_path
+
+
+def _metrics(workload: str = "unit", references: int = 10) -> RunMetrics:
+    return RunMetrics(
+        workload=workload, design="das", references=references,
+        instructions=100, time_ns=5.0, ipc=[1.0], llc_misses=3,
+        promotions=1, dram_accesses=7, table_fetches=2,
+        footprint_bytes=4096, access_locations={"fast": 1.0},
+        mean_read_latency_ns=30.0, read_latency_percentiles_ns={},
+        translation_cache_hit_rate=0.5, energy_nj=1.0)
+
+
+class TestRoundTrip:
+    def test_store_then_load(self):
+        store = get_store()
+        path = store.store("k1", _metrics())
+        assert path.exists()
+        loaded = store.load("k1")
+        assert loaded is not None
+        assert loaded.workload == "unit"
+        assert store.hits == 1 and store.stores == 1
+
+    def test_missing_key_is_a_miss(self):
+        store = get_store()
+        assert store.load("absent") is None
+        assert store.misses == 1
+
+    def test_load_touches_mtime_for_lru(self):
+        store = get_store()
+        store.store("k1", _metrics())
+        path = store.path_for("k1")
+        old = time.time() - 3600
+        os.utime(path, (old, old))
+        store.load("k1")
+        assert os.stat(path).st_mtime > old + 1800
+
+    def test_contains(self):
+        store = get_store()
+        assert not store.contains("k1")
+        store.store("k1", _metrics())
+        assert store.contains("k1")
+
+
+class TestScanAndStats:
+    def test_scan_indexes_existing_entries(self):
+        store = get_store()
+        store.store("a", _metrics())
+        store.store("b", _metrics())
+        fresh = ResultStore(store.directory)
+        assert fresh.scan() == 2
+        assert {e.key for e in fresh.entries(rescan=False)} == {"a", "b"}
+
+    def test_scan_skips_temp_and_foreign_files(self, tmp_path):
+        directory = tmp_path / "store"
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / ".k1.xyz.tmp").write_text("{}")
+        (directory / "README").write_text("not a result")
+        (directory / "good.json").write_text("{}")
+        store = ResultStore(directory)
+        assert store.scan() == 1
+
+    def test_scan_of_missing_directory(self, tmp_path):
+        store = ResultStore(tmp_path / "never-created")
+        assert store.scan() == 0
+        assert store.stats()["entries"] == 0
+
+    def test_stats_shape(self):
+        store = get_store()
+        store.store("a", _metrics())
+        store.load("a")
+        store.load("missing")
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["total_bytes"] > 0
+
+    def test_entries_sorted_lru_first(self):
+        store = get_store()
+        for index, key in enumerate(("old", "mid", "new")):
+            store.store(key, _metrics())
+            past = time.time() - (3 - index) * 1000
+            os.utime(store.path_for(key), (past, past))
+        keys = [e.key for e in store.entries()]
+        assert keys == ["old", "mid", "new"]
+
+
+class TestGc:
+    def test_gc_by_size_evicts_lru_first(self):
+        store = get_store()
+        for index, key in enumerate(("old", "mid", "new")):
+            store.store(key, _metrics())
+            past = time.time() - (3 - index) * 1000
+            os.utime(store.path_for(key), (past, past))
+        entry_size = store.entries()[0].size_bytes
+        evicted = store.gc(max_bytes=2 * entry_size + 1)
+        assert evicted == ["old"]
+        assert not store.contains("old")
+        assert store.contains("mid") and store.contains("new")
+
+    def test_gc_by_age(self):
+        store = get_store()
+        store.store("stale", _metrics())
+        store.store("fresh", _metrics())
+        past = time.time() - 10_000
+        os.utime(store.path_for("stale"), (past, past))
+        evicted = store.gc(max_age_s=5_000)
+        assert evicted == ["stale"]
+        assert store.contains("fresh")
+
+    def test_gc_without_bounds_is_a_noop(self):
+        store = get_store()
+        store.store("a", _metrics())
+        assert store.gc() == []
+        assert store.contains("a")
+
+    def test_gc_counts_evictions(self):
+        store = get_store()
+        store.store("a", _metrics())
+        store.gc(max_bytes=0)
+        assert store.evictions == 1
+        assert store.stats()["entries"] == 0
+
+
+class TestCorruptEntries:
+    def test_corrupt_entry_is_a_miss_and_unlinked(self):
+        store = get_store()
+        store.directory.mkdir(parents=True, exist_ok=True)
+        path = store.path_for("bad")
+        path.write_text("{ truncated")
+        assert store.load("bad") is None
+        assert not path.exists()
+
+    def test_wrong_shape_json_is_dropped(self):
+        store = get_store()
+        store.directory.mkdir(parents=True, exist_ok=True)
+        store.path_for("bad").write_text(json.dumps([1, 2, 3]))
+        assert store.load("bad") is None
+        assert not store.contains("bad")
+
+    def test_corrupt_unlink_spares_concurrent_replacement(self):
+        """A healthy entry replacing a corrupt one survives the unlink.
+
+        Simulates the race via the internal hook: reader A stats the
+        corrupt file, writer B replaces it, then A's unlink-if-unchanged
+        must see a different inode and leave B's file alone.
+        """
+        store = get_store()
+        store.directory.mkdir(parents=True, exist_ok=True)
+        path = store.path_for("raced")
+        path.write_text("{ corrupt")
+        stale_stat = os.stat(path)
+        store.store("raced", _metrics())  # writer B wins the race
+        store._drop_corrupt(path, stale_stat)
+        assert store.contains("raced")
+        assert store.load("raced") is not None
+
+    def test_corrupt_drop_handles_vanished_file(self):
+        store = get_store()
+        store.directory.mkdir(parents=True, exist_ok=True)
+        path = store.path_for("gone")
+        path.write_text("{ corrupt")
+        stat = os.stat(path)
+        path.unlink()
+        store._drop_corrupt(path, stat)  # must not raise
+
+
+class TestConcurrentWriters:
+    def test_parallel_stores_leave_a_valid_entry(self):
+        """Racing writers: last rename wins, the file is never torn."""
+        store = get_store()
+        barrier = threading.Barrier(8)
+        failures = []
+
+        def writer(index: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(20):
+                    store.store("shared", _metrics(references=index))
+            except Exception as error:  # pragma: no cover
+                failures.append(error)
+
+        threads = [threading.Thread(target=writer, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not failures
+        loaded = store.load("shared")
+        assert loaded is not None
+        assert loaded.references in range(8)
+        leftovers = [p for p in store.directory.iterdir()
+                     if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestEnvOverride:
+    def test_store_root_follows_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert store_root() == tmp_path / "elsewhere"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert store_root() == Path(".repro_cache")
+
+    def test_get_store_reresolves_env_per_call(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "one"))
+        first = get_store()
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "two"))
+        second = get_store()
+        assert first.directory != second.directory
+        assert get_store() is second  # per-directory singleton
+
+    def test_runner_delegates_honor_override(self, monkeypatch, tmp_path):
+        """The runner's cache facade reads/writes the overridden store."""
+        target = tmp_path / "runner-store"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(target))
+        _store_cached("k-runner", _metrics())
+        assert (target / "k-runner.json").exists()
+        loaded = _load_cached("k-runner")
+        assert loaded is not None and loaded.workload == "unit"
+
+    def test_run_workload_writes_through_store(self, monkeypatch, tmp_path):
+        target = tmp_path / "wl-store"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(target))
+        metrics = run_workload("mcf", "das", references=REFS)
+        store = get_store()
+        entries = store.entries()
+        assert len(entries) == 1
+        recalled = store.load(entries[0].key)
+        assert recalled is not None
+        assert recalled.time_ns == metrics.time_ns
+
+    def test_no_cache_env_disables_runner_facade(self, monkeypatch,
+                                                 tmp_path):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        _store_cached("k", _metrics())
+        assert _load_cached("k") is None
+        assert not (Path(os.environ["REPRO_CACHE_DIR"]) / "k.json").exists()
+
+
+class TestCacheCli:
+    def test_stats_ls_gc(self, capsys):
+        from repro.cli import main
+
+        store = get_store()
+        store.store("a", _metrics())
+        store.store("b", _metrics())
+        past = time.time() - 10_000
+        os.utime(store.path_for("a"), (past, past))
+        directory = str(store.directory)
+
+        assert main(["cache", "stats", "--dir", directory]) == 0
+        assert "2 entries" in capsys.readouterr().out
+
+        assert main(["cache", "ls", "--dir", directory]) == 0
+        out = capsys.readouterr().out
+        assert "a" in out and "b" in out
+        assert out.index("a") < out.index("b")  # LRU first
+
+        assert main(["cache", "gc", "--dir", directory,
+                     "--max-age-days", "0.05"]) == 0
+        assert "evicted 1" in capsys.readouterr().out
+        assert not store.contains("a") and store.contains("b")
+
+    def test_gc_requires_a_bound(self, capsys):
+        from repro.cli import main
+
+        store = get_store()
+        assert main(["cache", "gc", "--dir", str(store.directory)]) == 2
+
+    def test_ls_json(self, capsys):
+        from repro.cli import main
+
+        store = get_store()
+        store.store("a", _metrics())
+        assert main(["cache", "ls", "--dir", str(store.directory),
+                     "--json"]) == 0
+        listed = json.loads(capsys.readouterr().out)
+        assert listed[0]["key"] == "a"
