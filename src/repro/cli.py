@@ -19,6 +19,7 @@ Examples::
     repro submit bench mcf         # run one workload through the server
     repro submit experiment fig7a  # server-side experiment + tabulation
     repro status                   # a running server's counters and queue
+    repro top                      # live dashboard (queue, workers, p99s)
     repro cache stats              # the content-addressed result store
     repro cache gc --max-mb 100    # evict LRU entries past a size cap
 """
@@ -270,6 +271,15 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--log-json", metavar="PATH", default=None,
                        help="write server telemetry (requests, job "
                             "lifecycle, failures) as JSON lines to PATH")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="N",
+                       help="serve Prometheus /metrics and /healthz over "
+                            "HTTP on this port (0 picks a free port and "
+                            "prints it)")
+    serve.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write per-job queue/run spans as a Chrome "
+                            "trace (Perfetto-loadable) to PATH at "
+                            "shutdown")
 
     submit = sub.add_parser(
         "submit", help="submit work to a running 'repro serve'")
@@ -343,6 +353,18 @@ def _build_parser() -> argparse.ArgumentParser:
                         default=service_protocol.DEFAULT_PORT)
     status.add_argument("--json", action="store_true", dest="as_json")
 
+    top = sub.add_parser(
+        "top", help="live dashboard for a running server (queue, "
+                    "workers, store hit rate, latency percentiles)")
+    top.add_argument("--host", default=service_protocol.DEFAULT_HOST)
+    top.add_argument("--port", type=int,
+                     default=service_protocol.DEFAULT_PORT)
+    top.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                     help="seconds between polls (default: 2)")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (no screen clearing; "
+                          "good for scripts and screenshots)")
+
     cache = sub.add_parser(
         "cache", help="inspect / garbage-collect the result store")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -356,6 +378,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="evict LRU entries until the store fits MB")
     c_gc.add_argument("--max-age-days", type=float, default=None,
                       metavar="D", help="evict entries older than D days")
+    c_gc.add_argument("--dry-run", action="store_true",
+                      help="print what the same bounds would evict "
+                           "without touching anything")
     for c_cmd in (c_stats, c_ls, c_gc):
         c_cmd.add_argument("--dir", default=None, metavar="PATH",
                            help="store directory (default: "
@@ -500,6 +525,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _watch_command(args)
     if args.command == "status":
         return _status_command(args)
+    if args.command == "top":
+        return _top_command(args)
     if args.command == "cache":
         return _cache_command(args)
     raise AssertionError("unreachable")
@@ -524,15 +551,20 @@ def _serve_command(args) -> int:
         async def amain() -> None:
             server = ReproServer(args.host, args.port, jobs=args.jobs,
                                  use_store=not args.no_store, log=log,
-                                 store_max_bytes=store_max)
+                                 store_max_bytes=store_max,
+                                 metrics_port=args.metrics_port,
+                                 trace_out=args.trace_out)
             await server.start()
             loop = asyncio.get_running_loop()
             for signum in (signal.SIGINT, signal.SIGTERM):
                 with contextlib.suppress(NotImplementedError):
                     loop.add_signal_handler(signum, server.request_shutdown)
+            scrape = (f", metrics on http://{server.host}:"
+                      f"{server.metrics_port}/metrics"
+                      if server.metrics_port is not None else "")
             print(f"repro server on {server.host}:{server.port} "
                   f"(jobs={server.jobs}, "
-                  f"store={server.store.directory}) -- "
+                  f"store={server.store.directory}{scrape}) -- "
                   f"Ctrl-C drains in-flight jobs and exits",
                   file=sys.stderr, flush=True)
             await server.serve_until_closed()
@@ -734,6 +766,15 @@ def _status_command(args) -> int:
     return 0
 
 
+def _top_command(args) -> int:
+    """Handle ``repro top``: live dashboard over the job socket."""
+    from .service.top import run_top
+
+    return run_top(args.host, args.port, interval_s=args.interval,
+                   iterations=1 if args.once else None,
+                   clear=not args.once)
+
+
 def _cache_command(args) -> int:
     """Handle ``repro cache stats|ls|gc`` (offline, no server needed)."""
     import json
@@ -776,10 +817,17 @@ def _cache_command(args) -> int:
         max_bytes=(int(args.max_mb * 1_000_000)
                    if args.max_mb is not None else None),
         max_age_s=(args.max_age_days * 86400.0
-                   if args.max_age_days is not None else None))
+                   if args.max_age_days is not None else None),
+        dry_run=args.dry_run)
     stats = store.stats()
     if args.as_json:
-        print(json.dumps({"evicted": evicted, "stats": stats}, indent=2))
+        print(json.dumps({"evicted": evicted, "dry_run": args.dry_run,
+                          "stats": stats}, indent=2))
+    elif args.dry_run:
+        for key in evicted:
+            print(f"would evict {key}")
+        print(f"dry run: would evict {len(evicted)} of "
+              f"{stats['entries']} entries (nothing touched)")
     else:
         print(f"evicted {len(evicted)} entries; {stats['entries']} "
               f"remain ({int(stats['total_bytes']) / 1e6:.2f} MB)")

@@ -12,8 +12,13 @@ line — with a trailing ``summary`` record mirroring
   its reason and whether it will retry;
 * ``summary`` — end-of-batch totals.
 
-Lines are flushed as written, so a live batch can be followed with
-``tail -f`` and a killed batch keeps every event up to the kill.
+Every record carries two clocks: ``ts`` (wall time, ``time.time()``,
+for correlating with the outside world) and ``mono``
+(``time.monotonic()``, for computing durations between records — wall
+clocks step under NTP and suspend, so differences of ``ts`` are not
+durations).  Lines are flushed as written, so a live batch can be
+followed with ``tail -f`` and a killed batch keeps every event up to
+the kill.
 """
 
 from __future__ import annotations
@@ -34,13 +39,14 @@ class JsonlLog:
         self._stream: TextIO = open(path, "w") if stream is None else stream
 
     def event(self, name: str, **fields: object) -> None:
-        """Write one event line (adds the wall-clock timestamp).
+        """Write one event line (stamps both clocks: ``ts`` + ``mono``).
 
         The parameter is ``name`` rather than ``kind`` because callers
         (notably the job server) log records that themselves carry a
         ``kind`` field — it must stay usable as a keyword.
         """
-        record = {"event": name, "t": time.time()}
+        record: dict = {"event": name, "ts": time.time(),
+                        "mono": time.monotonic()}
         record.update(fields)
         self._stream.write(json.dumps(record) + "\n")
         self._stream.flush()
@@ -89,7 +95,12 @@ class JsonlLog:
     #   or were answered from the store;
     # * ``job_queued`` / ``job_started`` / ``job_result`` /
     #   ``job_failure`` / ``job_cancelled`` — job lifecycle (mirrors the
-    #   executor's run/failure records, plus queue-only states);
+    #   executor's run/failure records, plus queue-only states); each
+    #   carries the job's ``trace`` correlation id, the same id the
+    #   client's ack frames and the worker's stdout events show;
+    # * ``metrics_http`` — the --metrics-port scrape endpoint came up;
+    # * ``trace_written`` / ``trace_write_failed`` — the --trace-out
+    #   Chrome-trace export at shutdown;
     # * ``internal_error`` — a scheduler bug surfaced by a job task.
 
     def summary(self, report) -> None:

@@ -13,7 +13,10 @@ Built on :mod:`repro.common.statistics`:
   (``repro compare``);
 * :mod:`repro.obs.render` — shared aligned-table/number formatting used
   by the compare and validation reports;
-* :mod:`repro.obs.perf` — perf-regression baselines (``repro perf``).
+* :mod:`repro.obs.perf` — perf-regression baselines (``repro perf``);
+* :mod:`repro.obs.metrics` — the labels-aware counter/gauge/histogram
+  registry with Prometheus text exposition that the job service scrapes
+  (``repro serve --metrics-port`` / ``repro top``).
 
 Executor telemetry (structured JSON-lines run logs) lives next to the
 worker pool in :mod:`repro.exec.telemetry`.
@@ -27,12 +30,16 @@ from .compare import (
     render_stat_diff,
     render_timeline_diff,
 )
-from .render import aligned_table, format_number
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    quantile_from_buckets,
+)
+from .render import aligned_table, format_number, sparkline
 from .stats import build_stats_tree, render_stats
 from .timeline import (
     TimelineSampler,
     render_timeline,
-    sparkline,
     timeline_to_csv,
 )
 from .tracer import (
@@ -44,12 +51,15 @@ from .tracer import (
 )
 
 __all__ = [
+    "DEFAULT_LATENCY_BUCKETS_S",
     "EventTracer",
+    "MetricsRegistry",
     "TraceEvent",
     "TRANSLATION_TID",
     "MIGRATION_TID",
     "EXEC_TID",
     "TimelineSampler",
+    "quantile_from_buckets",
     "aligned_table",
     "build_stats_tree",
     "format_number",

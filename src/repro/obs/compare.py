@@ -141,7 +141,7 @@ def render_timeline_diff(timeline_a: Mapping[str, object],
                          timeline_b: Mapping[str, object],
                          label_a: str = "A", label_b: str = "B") -> str:
     """Window-by-window divergence summary of two sampled timelines."""
-    from .timeline import sparkline
+    from .render import sparkline
 
     windows_a = (timeline_a or {}).get("windows") or []
     windows_b = (timeline_b or {}).get("windows") or []

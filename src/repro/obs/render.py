@@ -1,14 +1,32 @@
 """Shared plain-text report rendering primitives.
 
-``repro compare`` (:mod:`repro.obs.compare`) and ``repro validate``
-(:mod:`repro.validate.engine`) both print aligned, terminal-friendly
-reports; this module holds the formatting primitives they share so the
-two report families stay visually consistent.
+``repro compare`` (:mod:`repro.obs.compare`), ``repro validate``
+(:mod:`repro.validate.engine`), the timeline report and the ``repro
+top`` service dashboard all print aligned, terminal-friendly reports;
+this module holds the formatting primitives they share so the report
+families stay visually consistent.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a numeric series as unicode block characters."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high <= low:
+        return _SPARK_LEVELS[3] * len(values)
+    span = high - low
+    top = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[min(top, int((value - low) / span * top + 0.5))]
+        for value in values)
 
 
 def format_number(value: float) -> str:

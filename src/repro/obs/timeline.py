@@ -33,6 +33,11 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
+from .render import sparkline
+
+__all__ = ["TimelineSampler", "TIMELINE_SERIES", "sparkline",
+           "render_timeline", "timeline_to_csv"]
+
 #: Cumulative counters snapshotted per sample; window values are deltas.
 COUNTER_KEYS = (
     "references",
@@ -249,8 +254,6 @@ class TimelineSampler:
 # Rendering and export
 # ----------------------------------------------------------------------
 
-_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
-
 #: (window key, display label) pairs rendered by :func:`render_timeline`.
 TIMELINE_SERIES = (
     ("ipc", "ipc"),
@@ -264,21 +267,6 @@ TIMELINE_SERIES = (
     ("reads", "reads"),
     ("writes", "writes"),
 )
-
-
-def sparkline(values: Sequence[float]) -> str:
-    """Render a numeric series as unicode block characters."""
-    if not values:
-        return ""
-    low = min(values)
-    high = max(values)
-    if high <= low:
-        return _SPARK_LEVELS[3] * len(values)
-    span = high - low
-    top = len(_SPARK_LEVELS) - 1
-    return "".join(
-        _SPARK_LEVELS[min(top, int((value - low) / span * top + 0.5))]
-        for value in values)
 
 
 def render_timeline(timeline: Mapping[str, object]) -> str:

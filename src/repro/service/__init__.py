@@ -8,9 +8,10 @@ Turns the ``repro`` CLI into a persistent service (the ROADMAP's
   index with sizes/mtimes/hit counts, LRU/size-capped eviction and a
   warm-start scan.  Used by the standalone runner and the server alike.
 * :mod:`repro.service.protocol` — the JSON-lines wire format: request
-  vocabulary (``submit``/``watch``/``status``/``shutdown``) and the
-  streamed event vocabulary (``ack``/``queued``/``started``/
-  ``progress``/``timeline``/``result``/``final``/``done``).
+  vocabulary (``submit``/``watch``/``status``/``metrics``/
+  ``shutdown``) and the streamed event vocabulary (``ack``/``queued``/
+  ``started``/``progress``/``timeline``/``result``/``final``/``done``),
+  plus the per-job ``trace`` correlation id.
 * :mod:`repro.service.queue` — the in-server job table: single-flight
   deduplication on the run cache key, priority scheduling with
   per-client round-robin fairness.
@@ -21,11 +22,17 @@ Turns the ``repro`` CLI into a persistent service (the ROADMAP's
   serve``): accepts bench/experiment/sweep/validate submissions from
   many concurrent clients, coalesces identical in-flight work, answers
   completed work straight from the store, and streams progress back.
+  Owns the metrics registry and the per-job trace ids.
+* :mod:`repro.service.http` — the optional ``--metrics-port`` scrape
+  endpoint (``/metrics`` Prometheus exposition + ``/healthz``).
 * :mod:`repro.service.client` — the blocking client library behind
   ``repro submit`` / ``repro watch`` / ``repro status``.
+* :mod:`repro.service.top` — the live terminal dashboard behind
+  ``repro top`` (polls ``status`` + ``metrics`` over the job socket).
 """
 
 from .client import ServiceClient, ServiceError
+from .http import MetricsHttpServer
 from .protocol import DEFAULT_HOST, DEFAULT_PORT
 from .queue import Job, JobQueue
 from .server import ReproServer
@@ -36,6 +43,7 @@ __all__ = [
     "DEFAULT_PORT",
     "Job",
     "JobQueue",
+    "MetricsHttpServer",
     "ReproServer",
     "ResultStore",
     "ServiceClient",

@@ -56,6 +56,18 @@ class SubmitOutcome:
         return {str(j["key"]): str(j["source"])
                 for j in jobs}  # type: ignore[index,union-attr]
 
+    @property
+    def traces(self) -> Dict[str, str]:
+        """Cache key -> the server-assigned ``trace_id`` for that job.
+
+        The same id appears on the server's JSONL log records and the
+        worker's stdout events, so a client can print it next to a
+        result and a human can grep the whole job's story.
+        """
+        jobs = self.ack.get("jobs") or []
+        return {str(j["key"]): str(j.get("trace", ""))
+                for j in jobs}  # type: ignore[index,union-attr]
+
     def single_metrics(self) -> Dict[str, object]:
         """The metrics dict of a one-job request (bench / watch)."""
         if len(self.results) != 1:
@@ -236,6 +248,21 @@ class ServiceClient:
         if status is None:
             raise ServiceError("server sent no status frame")
         return status
+
+    def metrics(self) -> Dict[str, object]:
+        """The server's metrics frame.
+
+        Carries ``exposition`` (the Prometheus text a scrape of
+        ``/metrics`` would return) and ``families`` (the same registry
+        as structured JSON — what ``repro top`` renders).
+        """
+        frame: Optional[Dict[str, object]] = None
+        for event in self.request({"op": "metrics"}):
+            if event.get("event") == "metrics":
+                frame = event
+        if frame is None:
+            raise ServiceError("server sent no metrics frame")
+        return frame
 
     def shutdown(self) -> None:
         """Ask the server to drain and exit (returns immediately)."""

@@ -1,0 +1,112 @@
+"""The optional HTTP scrape endpoint behind ``repro serve --metrics-port``.
+
+A stdlib :mod:`http.server` bound next to the job socket, serving two
+read-only paths:
+
+* ``/metrics`` — the server's :class:`~repro.obs.metrics.
+  MetricsRegistry` as Prometheus v0.0.4 text exposition, directly
+  scrapeable by a stock Prometheus/VictoriaMetrics/Grafana-agent
+  ``scrape_config``;
+* ``/healthz`` — a small JSON liveness body (``ok``, ``draining``,
+  queue/worker occupancy) for load balancers and ``curl``.
+
+The endpoint runs on its own daemon thread (``ThreadingHTTPServer``),
+never on the asyncio event loop: a scrape only *reads* plain
+ints/floats under the GIL (gauges call their ``set_function``
+callbacks, which the server and store keep side-effect-free and
+container-snapshot-safe), so a slow or wedged scraper cannot block job
+scheduling, and a busy simulation cannot block a scrape.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional
+
+from ..obs.metrics import MetricsRegistry
+
+#: The exposition content type Prometheus expects for text format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _ScrapeHandler(BaseHTTPRequestHandler):
+    """GET-only handler for ``/metrics`` and ``/healthz``."""
+
+    #: Injected by :class:`MetricsHttpServer` via a subclass attribute.
+    registry: MetricsRegistry
+    health: Optional[Callable[[], Dict[str, object]]] = None
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Silence the stderr access log; the JSONL log is the stream."""
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server's contract)
+        """Dispatch the two read-only paths; 404 anything else."""
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = self.registry.render().encode("utf-8")
+            self._reply(200, METRICS_CONTENT_TYPE, body)
+        elif path == "/healthz":
+            health = self.health() if self.health is not None else {"ok": True}
+            body = (json.dumps(health) + "\n").encode("utf-8")
+            self._reply(200, "application/json", body)
+        else:
+            self._reply(404, "text/plain; charset=utf-8",
+                        b"try /metrics or /healthz\n")
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (ConnectionError, BrokenPipeError):
+            pass  # scraper hung up mid-reply; nothing to salvage
+
+
+class MetricsHttpServer:
+    """A daemon-threaded scrape endpoint for one registry.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start` to learn it (how tests avoid collisions).
+    """
+
+    def __init__(self, registry: MetricsRegistry, host: str = "127.0.0.1",
+                 port: int = 0,
+                 health: Optional[Callable[[], Dict[str, object]]] = None,
+                 ) -> None:
+        # staticmethod keeps the callables from binding as methods of
+        # the handler (a bare function in a class dict would receive
+        # the handler instance as an unwanted first argument).
+        handler = type("BoundScrapeHandler", (_ScrapeHandler,),
+                       {"registry": registry,
+                        "health": staticmethod(health) if health else None})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = self._httpd.server_address[1]
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        """Begin serving on a daemon thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-metrics-http:{self.port}", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._httpd.shutdown()
+            thread.join(timeout=5)
+        self._httpd.server_close()
+
+    @property
+    def url(self) -> str:
+        """The endpoint's base URL (convenience for logs and tests)."""
+        return f"http://{self.host}:{self.port}"

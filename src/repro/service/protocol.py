@@ -19,16 +19,27 @@ Request vocabulary (``op``):
 * ``watch`` — attach to an in-flight job by cache key (or recall a
   completed one from the store).
 * ``status`` — the server's stats tree, queue depth and store summary.
+* ``metrics`` — the server's metrics registry, both as Prometheus
+  v0.0.4 text exposition and as structured families (what ``repro
+  top`` polls; the same registry backs ``--metrics-port``'s
+  ``/metrics``).
 * ``shutdown`` — ask the server to drain and exit.
 
 Event vocabulary (``event``): ``ack`` (request accepted; lists the job
 keys, how each attached — fresh, coalesced onto an in-flight job, or
-answered from the store — and queue position for fresh ones),
-``started``/``retry`` (job lifecycle), ``progress`` + ``timeline``
-(streamed mid-simulation, one
-per sampled window), ``result`` (one job's metrics), ``job_done``
-(multi-job bookkeeping), ``final`` (the tabulated experiment / sweep /
-validate product), ``error`` and the terminal ``done``.
+answered from the store — each with its ``trace`` correlation id, and
+queue position for fresh ones), ``started``/``retry`` (job lifecycle),
+``progress`` + ``timeline`` (streamed mid-simulation, one per sampled
+window), ``result`` (one job's metrics), ``job_done`` (multi-job
+bookkeeping), ``final`` (the tabulated experiment / sweep / validate
+product), ``metrics``, ``error`` and the terminal ``done``.
+
+**Trace correlation**: the server assigns every job a ``trace_id`` at
+creation.  It rides as the ``trace`` field on the ack's per-job
+routing entries and on every job-scoped event frame, is passed to the
+worker subprocess (which echoes it on its own stdout events), and is
+stamped on the server's JSON-lines log records — one grep follows a
+submission from socket accept to result delivery.
 """
 
 from __future__ import annotations
@@ -52,7 +63,7 @@ PROTOCOL_VERSION = 1
 SUBMIT_KINDS = ("bench", "experiment", "sweep", "validate")
 
 #: Request operations a server accepts.
-REQUEST_OPS = ("submit", "watch", "status", "shutdown")
+REQUEST_OPS = ("submit", "watch", "status", "metrics", "shutdown")
 
 #: How a submitted spec attached to the job table (``ack``/``result``).
 SOURCE_NEW = "run"            # a fresh simulation was scheduled

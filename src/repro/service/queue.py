@@ -27,10 +27,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..exec.plan import RunSpec
+from ..obs.metrics import MetricsRegistry
 
 # Job lifecycle states.
 QUEUED = "queued"
@@ -53,6 +55,18 @@ class Job:
     timeout_s: Optional[float] = None
     state: str = QUEUED
     attempts: int = 0
+    #: Correlation id assigned by the server at job creation; follows
+    #: the job through queue, worker subprocess, telemetry log records
+    #: and every client-facing event frame.
+    trace_id: str = ""
+    #: Submit kind of the first subscriber (metrics label).
+    kind: str = ""
+    #: Monotonic timestamps stamped as the job moves: creation (server),
+    #: enqueue (``JobQueue.push``), dequeue (``JobQueue.pop``).  Latency
+    #: histograms are derived from these, never from wall clocks.
+    created_mono: float = 0.0
+    enqueued_mono: float = 0.0
+    started_mono: float = 0.0
     #: Server-defined subscriber records notified on job events (the
     #: queue never inspects them; see ``repro.service.server``).
     subscribers: List[object] = field(default_factory=list)
@@ -70,14 +84,40 @@ class Job:
 
 
 class JobQueue:
-    """Priority + fairness ordered queue of :class:`Job` objects."""
+    """Priority + fairness ordered queue of :class:`Job` objects.
 
-    def __init__(self) -> None:
+    ``metrics`` (optional) wires the queue into a
+    :class:`~repro.obs.metrics.MetricsRegistry`: push/cancel/
+    reprioritise counters, a live depth gauge, and the queue-wait
+    histogram observed at dequeue from the jobs' monotonic timestamps.
+    Without a registry every metric site is one ``is not None`` test.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._heap: List[Tuple[int, int, int, int, Job]] = []
         self._arrival = itertools.count()
         #: Jobs each client has enqueued so far (fair_rank source).
         self._client_ranks: Dict[str, int] = {}
         self._queued = 0
+        self._pushes = self._cancels = self._moves = None
+        self._wait_hist = None
+        if metrics is not None:
+            self._pushes = metrics.counter(
+                "repro_queue_pushes_total",
+                "Jobs pushed onto the scheduling queue")
+            self._cancels = metrics.counter(
+                "repro_queue_cancelled_total",
+                "Queued jobs cancelled before running")
+            self._moves = metrics.counter(
+                "repro_queue_reprioritized_total",
+                "Queued jobs moved to a more urgent priority band")
+            metrics.gauge(
+                "repro_queue_depth",
+                "Jobs currently queued (not yet running)"
+            ).set_function(lambda: float(self._queued))
+            self._wait_hist = metrics.histogram(
+                "repro_queue_wait_seconds",
+                "Queue wait per job: enqueue to worker dispatch")
 
     def push(self, job: Job) -> None:
         """Enqueue a job (state becomes QUEUED)."""
@@ -85,10 +125,13 @@ class JobQueue:
         self._client_ranks[job.client] = rank + 1
         job.state = QUEUED
         job.queue_version += 1
+        job.enqueued_mono = time.monotonic()
         heapq.heappush(self._heap, (job.priority, rank,
                                     next(self._arrival),
                                     job.queue_version, job))
         self._queued += 1
+        if self._pushes is not None:
+            self._pushes.inc()
 
     def reprioritize(self, job: Job, priority: int) -> bool:
         """Raise a queued job's urgency (lower value = earlier).
@@ -105,6 +148,8 @@ class JobQueue:
         # subscriber, so it competes at the front of that band.
         heapq.heappush(self._heap, (priority, 0, next(self._arrival),
                                     job.queue_version, job))
+        if self._moves is not None:
+            self._moves.inc()
         return True
 
     def cancel(self, job: Job) -> bool:
@@ -113,6 +158,8 @@ class JobQueue:
             return False
         job.state = CANCELLED
         self._queued -= 1
+        if self._cancels is not None:
+            self._cancels.inc()
         return True
 
     def pop(self) -> Optional[Job]:
@@ -123,6 +170,10 @@ class JobQueue:
                 continue  # cancelled or superseded by a reprioritise
             job.state = RUNNING
             self._queued -= 1
+            job.started_mono = time.monotonic()
+            if self._wait_hist is not None:
+                self._wait_hist.observe(
+                    job.started_mono - job.enqueued_mono)
             return job
         return None
 

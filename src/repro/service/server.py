@@ -17,6 +17,15 @@ Workers stream timeline windows as they are sampled, so clients see
 ``progress``/``timeline`` frames *during* a simulation, not a dump at
 the end.  Graceful shutdown stops accepting submissions, drains every
 queued and running job (subscribers get their results), then closes.
+
+Observability: the server owns one
+:class:`~repro.obs.metrics.MetricsRegistry` shared with its
+:class:`JobQueue` and :class:`ResultStore`, answerable over the wire
+(the ``metrics`` op) and over HTTP (``--metrics-port`` serves
+``/metrics`` + ``/healthz``).  Every job carries a ``trace_id`` from
+creation to result delivery — see :mod:`repro.service.protocol` — and
+job queue/run phases are recorded as :class:`EventTracer` spans,
+exportable as a Chrome trace via ``trace_out``.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ import json
 import os
 import sys
 import time
+import uuid
 from dataclasses import dataclass, field
 from itertools import count
 from pathlib import Path
@@ -34,10 +44,17 @@ from typing import Awaitable, Callable, Dict, List, Optional, Set, Tuple
 
 from ..common.statistics import StatGroup
 from ..exec.plan import RunSpec
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import EXEC_TID, EventTracer
 from . import protocol
 from .protocol import ProtocolError
 from .queue import DONE, FAILED, Job, JobQueue
 from .store import ResultStore, get_store
+
+
+def new_trace_id() -> str:
+    """A fresh job correlation id (short, log- and label-friendly)."""
+    return "t" + uuid.uuid4().hex[:12]
 
 #: StreamReader line limit for worker pipes and client sockets (8 MiB).
 #: A ``result`` frame carries a full metrics dict (stats tree +
@@ -110,6 +127,8 @@ class ReproServer:
         use_store: bool = True,
         log=None,
         store_max_bytes: Optional[int] = None,
+        metrics_port: Optional[int] = None,
+        trace_out: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -118,8 +137,21 @@ class ReproServer:
         self.use_store = use_store
         self.log = log
         self.store_max_bytes = store_max_bytes
+        #: Bind an HTTP scrape endpoint (``/metrics`` + ``/healthz``)
+        #: on this port when not None (0 = ephemeral; resolved after
+        #: :meth:`start`).
+        self.metrics_port = metrics_port
+        #: Write the server's span trace here (Chrome trace JSON) at
+        #: shutdown when set.
+        self.trace_out = trace_out
         self._server: Optional[asyncio.base_events.Server] = None
-        self._queue = JobQueue()
+        self._http = None
+        self.metrics = MetricsRegistry()
+        self._queue = JobQueue(metrics=self.metrics)
+        self.store.bind_metrics(self.metrics)
+        #: Queue/run spans per job (EXEC_TID lane, trace_id in args).
+        self.tracer = EventTracer()
+        self._epoch_mono = time.monotonic()
         #: Live (queued or running) jobs by cache key — the single-flight
         #: table identical submissions coalesce through.
         self._jobs: Dict[str, Job] = {}
@@ -131,6 +163,88 @@ class ReproServer:
         self._closed = asyncio.Event()
         self._scheduler_task: Optional[asyncio.Task] = None
         self.stats = StatGroup("server")
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Register the server's metric families (once, at construction).
+
+        Counters are incremented at the same sites as the ``stats``
+        tree; gauges read live server state through ``set_function``
+        at scrape time, so a scrape never needs the event loop's
+        cooperation.
+        """
+        m = self.metrics
+        self._m_requests = m.counter(
+            "repro_requests_total", "Requests handled, by protocol op",
+            labels=("op",))
+        self._m_bad_frames = m.counter(
+            "repro_bad_frames_total",
+            "Frames rejected as malformed or invalid")
+        self._m_connections = m.counter(
+            "repro_connections_total", "Client connections accepted")
+        m.gauge("repro_clients_connected",
+                "Clients connected right now").set_function(
+            lambda: float(len(self._clients)))
+        self._m_specs = m.counter(
+            "repro_specs_submitted_total",
+            "Unique specs carried by submit requests, by submit kind",
+            labels=("kind",))
+        self._m_jobs_created = m.counter(
+            "repro_jobs_created_total",
+            "Fresh jobs enqueued, by submit kind", labels=("kind",))
+        self._m_jobs_coalesced = m.counter(
+            "repro_jobs_coalesced_total",
+            "Submissions single-flighted onto an in-flight job",
+            labels=("kind",))
+        self._m_store_answered = m.counter(
+            "repro_jobs_store_answered_total",
+            "Submissions answered from the result store",
+            labels=("kind",))
+        self._m_jobs_completed = m.counter(
+            "repro_jobs_completed_total",
+            "Jobs that finished with a result, by submit kind",
+            labels=("kind",))
+        self._m_jobs_failed = m.counter(
+            "repro_jobs_failed_total",
+            "Jobs that exhausted retries, by submit kind",
+            labels=("kind",))
+        self._m_jobs_cancelled = m.counter(
+            "repro_jobs_cancelled_total",
+            "Queued jobs cancelled after their last subscriber left",
+            labels=("kind",))
+        m.gauge("repro_workers_busy",
+                "Worker subprocesses running right now").set_function(
+            lambda: float(len(self._running)))
+        m.gauge("repro_worker_slots",
+                "Concurrent worker slot limit (--jobs)").set_function(
+            lambda: float(self.jobs))
+        m.gauge("repro_draining",
+                "1 while a graceful shutdown drain is in progress"
+                ).set_function(lambda: 1.0 if self._draining else 0.0)
+        m.gauge("repro_uptime_seconds",
+                "Seconds since the server object was created"
+                ).set_function(
+            lambda: time.monotonic() - self._epoch_mono)
+        self._m_attempts = m.counter(
+            "repro_worker_attempts_total",
+            "Worker subprocess attempts launched (includes retries)")
+        self._m_retries = m.counter(
+            "repro_worker_retries_total", "Attempts that were retries")
+        self._m_timeouts = m.counter(
+            "repro_worker_timeouts_total",
+            "Attempts killed by the per-job timeout")
+        self._m_worker_failures = m.counter(
+            "repro_worker_failures_total",
+            "Attempts that ended without a result")
+        self._m_windows = m.counter(
+            "repro_windows_streamed_total",
+            "Timeline windows streamed from workers to subscribers")
+        self._m_run_hist = m.histogram(
+            "repro_job_run_seconds",
+            "Per-job run time: worker dispatch to completion")
+        self._m_e2e_hist = m.histogram(
+            "repro_job_e2e_seconds",
+            "End-to-end job latency: submission to completion")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -145,6 +259,16 @@ class ReproServer:
         self._server = await asyncio.start_server(
             self._handle_client, self.host, self.port, limit=LINE_LIMIT)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics_port is not None:
+            from .http import MetricsHttpServer
+
+            self._http = MetricsHttpServer(
+                self.metrics, host=self.host, port=self.metrics_port,
+                health=self.health_dict)
+            self._http.start()
+            self.metrics_port = self._http.port
+            self._log("metrics_http", host=self.host,
+                      port=self.metrics_port)
         self._scheduler_task = asyncio.ensure_future(self._scheduler())
 
     async def serve_until_closed(self) -> None:
@@ -171,6 +295,16 @@ class ReproServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._http is not None:
+            self._http.stop()
+        if self.trace_out and len(self.tracer):
+            try:
+                self.tracer.write_chrome_trace(self.trace_out)
+                self._log("trace_written", path=self.trace_out,
+                          events=len(self.tracer))
+            except OSError as error:
+                self._log("trace_write_failed", path=self.trace_out,
+                          error=str(error))
         for client in list(self._clients.values()):
             client.send(protocol.event("server_shutdown", None))
             client.closed = True
@@ -179,14 +313,36 @@ class ReproServer:
         self._closed.set()
 
     def status_dict(self) -> Dict[str, object]:
-        """The ``status`` frame body: counters, queue, store, clients."""
+        """The ``status`` frame body: counters, queue, store, clients.
+
+        Rescans the store first: results are written by worker
+        subprocesses, so the in-process index is stale until a scan and
+        a status report should state what is actually on disk.
+        """
+        self.store.scan()
         return {
             "counters": self.stats.as_dict(),
             "queued": len(self._queue),
             "running": len(self._running),
             "clients": len(self._clients),
             "draining": self._draining,
+            "uptime_s": time.monotonic() - self._epoch_mono,
             "store": self.store.stats(),
+        }
+
+    def health_dict(self) -> Dict[str, object]:
+        """The ``/healthz`` body — cheap reads only, safe off-loop.
+
+        Called from the HTTP scrape thread, so it touches nothing but
+        ints, bools and container lengths (atomic reads under the GIL).
+        """
+        return {
+            "ok": True,
+            "draining": self._draining,
+            "queued": len(self._queue),
+            "running": len(self._running),
+            "clients": len(self._clients),
+            "uptime_s": time.monotonic() - self._epoch_mono,
         }
 
     def _log(self, name: str, **fields: object) -> None:
@@ -204,6 +360,7 @@ class ReproServer:
         client = ClientConn(f"c{next(self._client_ids)}", reader, writer)
         self._clients[client.id] = client
         self.stats.counter("connections").add()
+        self._m_connections.inc()
         self._log("client_connected", client=client.id)
         writer_task = asyncio.ensure_future(self._client_writer(client))
         try:
@@ -256,7 +413,9 @@ class ReproServer:
             if not job.subscribers and self._queue.cancel(job):
                 del self._jobs[key]
                 self.stats.counter("jobs_cancelled").add()
-                self._log("job_cancelled", key=key, spec=job.describe())
+                self._m_jobs_cancelled.labels(job.kind).inc()
+                self._log("job_cancelled", key=key, spec=job.describe(),
+                          trace=job.trace_id)
 
     async def _handle_frame(self, client: ClientConn, line: bytes) -> None:
         try:
@@ -264,10 +423,12 @@ class ReproServer:
             op = protocol.validate_request(frame)
         except ProtocolError as error:
             self.stats.counter("bad_frames").add()
+            self._m_bad_frames.inc()
             client.send(protocol.event("error", None, message=str(error)))
             return
         req_id = frame["id"]
         self.stats.counter("requests").add()
+        self._m_requests.labels(op).inc()
         try:
             if op == "submit":
                 await self._handle_submit(client, req_id, frame)
@@ -277,11 +438,18 @@ class ReproServer:
                 client.send(protocol.event("status", req_id,
                                            **self.status_dict()))
                 client.send(protocol.event("done", req_id, ok=True))
+            elif op == "metrics":
+                client.send(protocol.event(
+                    "metrics", req_id,
+                    exposition=self.metrics.render(),
+                    families=self.metrics.collect()))
+                client.send(protocol.event("done", req_id, ok=True))
             elif op == "shutdown":
                 client.send(protocol.event("done", req_id, ok=True))
                 self.request_shutdown()
         except ProtocolError as error:
             self.stats.counter("bad_frames").add()
+            self._m_bad_frames.inc()
             client.send(protocol.event("error", req_id, message=str(error)))
             client.send(protocol.event("done", req_id, ok=False))
 
@@ -315,9 +483,10 @@ class ReproServer:
         # (with every job's routing) is always the first thing a client
         # reads — store-hit results follow it, never precede it.
         attachments: List[Dict[str, object]] = []
-        store_hits: List[Tuple[str, Dict[str, object]]] = []
+        store_hits: List[Tuple[str, Dict[str, object], str]] = []
         for key, spec in unique:
             self.stats.counter("specs_submitted").add()
+            self._m_specs.labels(kind).inc()
             attachments.append(
                 self._attach_spec(request, spec, key, config, store_hits))
         request.send("ack", protocol_version=protocol.PROTOCOL_VERSION,
@@ -327,9 +496,9 @@ class ReproServer:
                   coalesced=sum(1 for a in attachments
                                 if a["source"] == protocol.SOURCE_COALESCED),
                   store=len(store_hits))
-        for key, metrics in store_hits:
+        for key, metrics, trace in store_hits:
             self._deliver_result(request, key, metrics,
-                                 protocol.SOURCE_STORE)
+                                 protocol.SOURCE_STORE, trace)
         self._maybe_finish(request)
         self._wake.set()
 
@@ -432,15 +601,24 @@ class ReproServer:
 
     def _attach_spec(self, request: Request, spec: RunSpec, key: str,
                      config: Dict[str, object],
-                     store_hits: List[Tuple[str, Dict[str, object]]]
+                     store_hits: List[Tuple[str, Dict[str, object], str]]
                      ) -> Dict[str, object]:
-        """Route one spec: store answer, coalesce, or enqueue fresh."""
+        """Route one spec: store answer, coalesce, or enqueue fresh.
+
+        Every routing outcome carries a ``trace`` id: fresh jobs mint
+        one that follows the job to the worker and back; coalescers
+        inherit the in-flight job's id (it *is* the same work); store
+        answers mint a fresh one so the delivery is still greppable.
+        """
         if self.use_store and key not in self._jobs:
             metrics = self.store.load(key)
             if metrics is not None:
                 self.stats.counter("store_answers").add()
-                store_hits.append((key, metrics.to_dict()))
-                return {"key": key, "source": protocol.SOURCE_STORE}
+                self._m_store_answered.labels(request.kind).inc()
+                trace = new_trace_id()
+                store_hits.append((key, metrics.to_dict(), trace))
+                return {"key": key, "source": protocol.SOURCE_STORE,
+                        "trace": trace}
         job = self._jobs.get(key)
         if job is not None:
             sub = Subscriber(request, protocol.SOURCE_COALESCED,
@@ -450,22 +628,28 @@ class ReproServer:
             priority = int(config["priority"])  # type: ignore[arg-type]
             self._queue.reprioritize(job, priority)
             self.stats.counter("jobs_coalesced").add()
-            return {"key": key, "source": protocol.SOURCE_COALESCED}
+            self._m_jobs_coalesced.labels(request.kind).inc()
+            return {"key": key, "source": protocol.SOURCE_COALESCED,
+                    "trace": job.trace_id}
         job = Job(key=key, spec=spec,
                   priority=int(config["priority"]),  # type: ignore[arg-type]
                   client=request.client.id,
                   retries=int(config["retries"]),  # type: ignore[arg-type]
-                  timeout_s=config["timeout_s"])  # type: ignore[arg-type]
+                  timeout_s=config["timeout_s"],  # type: ignore[arg-type]
+                  trace_id=new_trace_id(), kind=request.kind,
+                  created_mono=time.monotonic())
         job.subscribers.append(
             Subscriber(request, protocol.SOURCE_NEW, request.wants_timeline))
         request.pending.add(key)
         self._jobs[key] = job
         self._queue.push(job)
         self.stats.counter("jobs_created").add()
+        self._m_jobs_created.labels(request.kind).inc()
         self._log("job_queued", key=key, spec=job.describe(),
-                  priority=job.priority, client=request.client.id)
+                  priority=job.priority, client=request.client.id,
+                  trace=job.trace_id)
         return {"key": key, "source": protocol.SOURCE_NEW,
-                "position": len(self._queue)}
+                "trace": job.trace_id, "position": len(self._queue)}
 
     def _handle_watch(self, client: ClientConn, req_id: object,
                       frame: Dict[str, object]) -> None:
@@ -482,17 +666,20 @@ class ReproServer:
             request.send("ack", protocol_version=protocol.PROTOCOL_VERSION,
                          kind="watch",
                          jobs=[{"key": key,
-                                "source": protocol.SOURCE_COALESCED}],
+                                "source": protocol.SOURCE_COALESCED,
+                                "trace": job.trace_id}],
                          total=1)
             return
         metrics = self.store.load(key) if self.use_store else None
         if metrics is not None:
+            trace = new_trace_id()
             request.send("ack", protocol_version=protocol.PROTOCOL_VERSION,
                          kind="watch",
-                         jobs=[{"key": key, "source": protocol.SOURCE_STORE}],
+                         jobs=[{"key": key, "source": protocol.SOURCE_STORE,
+                                "trace": trace}],
                          total=1)
             self._deliver_result(request, key, metrics.to_dict(),
-                                 protocol.SOURCE_STORE)
+                                 protocol.SOURCE_STORE, trace)
             return
         raise ProtocolError(f"nothing known about key {key!r}")
 
@@ -542,12 +729,15 @@ class ReproServer:
 
     async def _run_job(self, job: Job) -> None:
         """Run one job to completion with retries and timeouts."""
-        self._log("job_started", key=job.key, spec=job.describe())
+        self._log("job_started", key=job.key, spec=job.describe(),
+                  trace=job.trace_id)
         failure = "job never attempted"
         for attempt in range(job.retries + 1):
             job.attempts = attempt + 1
+            self._m_attempts.inc()
             if attempt:
                 self.stats.counter("worker_retries").add()
+                self._m_retries.inc()
                 self._broadcast(job, "retry", attempt=attempt,
                                 reason=failure)
             try:
@@ -555,15 +745,18 @@ class ReproServer:
                     self._attempt(job), timeout=job.timeout_s)
             except asyncio.TimeoutError:
                 self.stats.counter("worker_timeouts").add()
+                self._m_timeouts.inc()
                 failure = (f"timed out after {job.timeout_s}s "
                            f"(attempt {attempt + 1})")
             if failure is None:
                 self._complete_job(job)
                 return
             self.stats.counter("worker_failures").add()
+            self._m_worker_failures.inc()
             self._log("job_failure", key=job.key, spec=job.describe(),
                       reason=failure, attempt=attempt,
-                      will_retry=attempt < job.retries)
+                      will_retry=attempt < job.retries,
+                      trace=job.trace_id)
         self._fail_job(job, failure)
 
     async def _attempt(self, job: Job) -> Optional[str]:
@@ -586,7 +779,8 @@ class ReproServer:
         got_result = False
         try:
             payload = {"spec": protocol.spec_to_wire(job.spec),
-                       "use_store": self.use_store, "timeline": True}
+                       "use_store": self.use_store, "timeline": True,
+                       "trace_id": job.trace_id}
             assert proc.stdin is not None and proc.stdout is not None
             proc.stdin.write(protocol.encode(payload))
             await proc.stdin.drain()
@@ -629,6 +823,7 @@ class ReproServer:
             return False, None
         if kind == "window":
             self.stats.counter("windows_streamed").add()
+            self._m_windows.inc()
             self._broadcast(job, "progress",
                             refs_done=event.get("refs_done"),
                             refs_total=event.get("refs_total"))
@@ -644,7 +839,8 @@ class ReproServer:
                     self.stats.counter("jobs_simulated").add()
                 self._log("job_result", key=job.key, spec=job.describe(),
                           wall_s=event.get("wall_s"),
-                          from_store=bool(event.get("from_store")))
+                          from_store=bool(event.get("from_store")),
+                          trace=job.trace_id)
             return True, None
         if kind == "worker_error":
             return False, str(event.get("message", "unknown worker error"))
@@ -660,18 +856,45 @@ class ReproServer:
         for sub in job.subscribers:  # type: ignore[assignment]
             if timeline_only and not sub.wants_timeline:
                 continue
-            sub.request.send(kind, key=job.key, **fields)
+            sub.request.send(kind, key=job.key, trace=job.trace_id,
+                             **fields)
+
+    def _trace_spans(self, job: Job, now: float, ok: bool) -> None:
+        """Record a finished job's queue and run phases as trace spans.
+
+        Timestamps are monotonic seconds relative to server start,
+        scaled to the tracer's nanosecond axis, so spans from one
+        server process line up on one Perfetto timeline.
+        """
+        base = self._epoch_mono
+        if job.enqueued_mono and job.started_mono:
+            self.tracer.emit(
+                (job.enqueued_mono - base) * 1e9, "service", "queue",
+                dur_ns=(job.started_mono - job.enqueued_mono) * 1e9,
+                tid=EXEC_TID, trace=job.trace_id, key=job.key)
+        if job.started_mono:
+            self.tracer.emit(
+                (job.started_mono - base) * 1e9, "service", "run",
+                dur_ns=(now - job.started_mono) * 1e9,
+                tid=EXEC_TID, trace=job.trace_id, key=job.key, ok=ok)
 
     def _complete_job(self, job: Job) -> None:
         job.state = DONE
         self._jobs.pop(job.key, None)
+        now = time.monotonic()
+        self._m_jobs_completed.labels(job.kind).inc()
+        if job.started_mono:
+            self._m_run_hist.observe(now - job.started_mono)
+        if job.created_mono:
+            self._m_e2e_hist.observe(now - job.created_mono)
+        self._trace_spans(job, now, ok=True)
         if self.store_max_bytes is not None:
             self.store.gc(max_bytes=self.store_max_bytes)
         subscribers = list(job.subscribers)
         job.subscribers.clear()
         for sub in subscribers:
             self._deliver_result(sub.request, job.key, job.result or {},
-                                 sub.source)
+                                 sub.source, job.trace_id)
         self._wake.set()
 
     def _fail_job(self, job: Job, reason: Optional[str]) -> None:
@@ -679,6 +902,8 @@ class ReproServer:
         job.error = reason
         self._jobs.pop(job.key, None)
         self.stats.counter("jobs_failed").add()
+        self._m_jobs_failed.labels(job.kind).inc()
+        self._trace_spans(job, time.monotonic(), ok=False)
         subscribers = list(job.subscribers)
         job.subscribers.clear()
         message = (f"{job.describe()}: {reason} "
@@ -686,20 +911,23 @@ class ReproServer:
         for sub in subscribers:
             request = sub.request
             request.failed[job.key] = message
-            request.send("error", key=job.key, message=message)
+            request.send("error", key=job.key, trace=job.trace_id,
+                         message=message)
             request.pending.discard(job.key)
             self._maybe_finish(request)
         self._wake.set()
 
     def _deliver_result(self, request: Request, key: str,
-                        metrics: Dict[str, object], source: str) -> None:
+                        metrics: Dict[str, object], source: str,
+                        trace: str = "") -> None:
         """Hand one finished job to one request; finish it if complete."""
         request.completed += 1
         request.pending.discard(key)
         if request.kind in ("bench", "watch"):
-            request.send("result", key=key, source=source, metrics=metrics)
+            request.send("result", key=key, source=source, trace=trace,
+                         metrics=metrics)
         else:
-            request.send("job_done", key=key, source=source,
+            request.send("job_done", key=key, source=source, trace=trace,
                          done=request.completed, total=request.total)
         self._maybe_finish(request)
 

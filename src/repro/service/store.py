@@ -79,6 +79,37 @@ class ResultStore:
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        self.corrupt = 0
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror this store's counters into a metrics registry.
+
+        Registers ``repro_store_*`` counters reading the store's own
+        session totals at scrape time (no double bookkeeping at the
+        hot sites) plus entry-count and bytes-on-disk gauges served
+        from the in-memory index.  Safe to call more than once; the
+        last-bound store wins for a given registry.
+        """
+        for name, attr, help_text in (
+            ("repro_store_hits_total", "hits",
+             "Result-store loads answered from disk"),
+            ("repro_store_misses_total", "misses",
+             "Result-store loads that found no usable entry"),
+            ("repro_store_stores_total", "stores",
+             "Results persisted to the store"),
+            ("repro_store_evictions_total", "evictions",
+             "Entries evicted by gc (age or LRU size cap)"),
+            ("repro_store_corrupt_total", "corrupt",
+             "Corrupt entries encountered on load"),
+        ):
+            registry.counter(name, help_text).set_function(
+                lambda a=attr: float(getattr(self, a)))
+        registry.gauge(
+            "repro_store_entries", "Entries in the store index"
+        ).set_function(lambda: float(len(self._index)))
+        registry.gauge(
+            "repro_store_bytes", "Bytes on disk across indexed entries"
+        ).set_function(lambda: float(self.total_bytes()))
 
     # ------------------------------------------------------------------
     # Paths and the warm-start scan
@@ -146,6 +177,7 @@ class ResultStore:
         try:
             metrics = RunMetrics.from_dict(json.loads(data))
         except (ValueError, TypeError):
+            self.corrupt += 1
             self._drop_corrupt(path, stat)
             self.misses += 1
             return None
@@ -231,9 +263,13 @@ class ResultStore:
         return sorted(self._index.values(), key=lambda e: e.mtime)
 
     def total_bytes(self) -> int:
-        """Total size of all indexed entries."""
+        """Total size of all indexed entries.
+
+        Snapshots the index first so a metrics scrape from another
+        thread never iterates a dict the event loop is mutating.
+        """
         self._ensure_scanned()
-        return sum(entry.size_bytes for entry in self._index.values())
+        return sum(entry.size_bytes for entry in list(self._index.values()))
 
     def stats(self) -> Dict[str, object]:
         """One summary dict: entry count, bytes, session hit/miss/evict."""
@@ -246,6 +282,7 @@ class ResultStore:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "corrupt": self.corrupt,
         }
 
     def gc(
@@ -253,13 +290,16 @@ class ResultStore:
         max_bytes: Optional[int] = None,
         max_age_s: Optional[float] = None,
         now: Optional[float] = None,
+        dry_run: bool = False,
     ) -> List[str]:
         """Evict entries by age then LRU size cap; returns evicted keys.
 
         ``max_age_s`` drops every entry older than that; ``max_bytes``
         then evicts least-recently-used entries until the remainder
         fits.  Either bound may be ``None`` (not enforced).  ``now``
-        pins the clock for deterministic tests.
+        pins the clock for deterministic tests.  ``dry_run`` returns
+        the keys the same bounds *would* evict without unlinking
+        anything or touching the index and counters.
         """
         self.scan()
         if now is None:
@@ -270,7 +310,7 @@ class ResultStore:
             fresh = []
             for entry in survivors:
                 if now - entry.mtime > max_age_s:
-                    self._evict(entry, evicted)
+                    self._evict(entry, evicted, dry_run)
                 else:
                     fresh.append(entry)
             survivors = fresh
@@ -279,11 +319,15 @@ class ResultStore:
             for entry in survivors:  # LRU first (entries() sorts by mtime)
                 if remaining <= max_bytes:
                     break
-                self._evict(entry, evicted)
+                self._evict(entry, evicted, dry_run)
                 remaining -= entry.size_bytes
         return evicted
 
-    def _evict(self, entry: StoreEntry, evicted: List[str]) -> None:
+    def _evict(self, entry: StoreEntry, evicted: List[str],
+               dry_run: bool = False) -> None:
+        if dry_run:
+            evicted.append(entry.key)
+            return
         try:
             os.unlink(self.path_for(entry.key))
         except OSError:

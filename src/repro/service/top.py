@@ -1,0 +1,216 @@
+"""``repro top`` — a live terminal dashboard for a running server.
+
+A curses-free poll-and-repaint loop: every interval it asks the server
+for its ``status`` and ``metrics`` frames over the ordinary job socket
+(no HTTP endpoint required), renders one screenful — queue depth,
+worker occupancy, store hit rate, job counters by kind, and latency
+percentiles derived from the registry's cumulative histograms — and
+redraws with ANSI clear-screen.  Short per-metric histories drive
+:func:`~repro.obs.render.sparkline` trend strips, the same renderer the
+timeline report uses.
+
+Everything here is pure rendering over the ``metrics`` op's JSON
+families; the snapshot/render split keeps it unit-testable without a
+terminal or a server.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..obs.metrics import quantile_from_buckets
+from ..obs.render import aligned_table, format_number, sparkline
+from .client import ServiceClient, ServiceError
+
+#: Sparkline history length (one cell per poll).
+HISTORY = 30
+
+#: ANSI: clear screen + home.  ``repro top --once`` skips it.
+CLEAR = "\x1b[2J\x1b[H"
+
+#: The quantiles the latency table reports.
+QUANTILES = (0.5, 0.9, 0.99)
+
+
+def _parse_buckets(sample: Dict[str, object]) -> List[tuple]:
+    """A collect() histogram sample's buckets as ``(le, count)`` floats."""
+    out = []
+    for bound, count in sample.get("buckets") or []:  # type: ignore
+        out.append((float("inf") if bound == "+Inf" else float(bound),
+                    float(count)))
+    return out
+
+
+def _scalar(families: Dict[str, object], name: str,
+            labels: Optional[Dict[str, str]] = None) -> float:
+    """One counter/gauge value (summed across children unless pinned)."""
+    family = families.get(name)
+    if not isinstance(family, dict):
+        return 0.0
+    total = 0.0
+    for sample in family.get("samples") or []:  # type: ignore[union-attr]
+        if labels is not None and sample.get("labels") != labels:
+            continue
+        total += float(sample.get("value", 0.0))
+    return total
+
+
+def _by_label(families: Dict[str, object], name: str,
+              label: str) -> Dict[str, float]:
+    """A labelled counter family as ``{label_value: total}``."""
+    family = families.get(name)
+    out: Dict[str, float] = {}
+    if not isinstance(family, dict):
+        return out
+    for sample in family.get("samples") or []:  # type: ignore[union-attr]
+        value = str((sample.get("labels") or {}).get(label, ""))
+        out[value] = out.get(value, 0.0) + float(sample.get("value", 0.0))
+    return out
+
+
+def _histogram_sample(families: Dict[str, object],
+                      name: str) -> Optional[Dict[str, object]]:
+    family = families.get(name)
+    if not isinstance(family, dict):
+        return None
+    samples = family.get("samples") or []
+    return samples[0] if samples else None  # type: ignore[index]
+
+
+class TopSnapshot:
+    """One poll's worth of derived dashboard numbers."""
+
+    def __init__(self, status: Dict[str, object],
+                 families: Dict[str, object]) -> None:
+        self.status = status
+        self.families = families
+        self.queued = float(status.get("queued", 0))
+        self.running = float(status.get("running", 0))
+        self.clients = float(status.get("clients", 0))
+        self.draining = bool(status.get("draining", False))
+        self.uptime_s = float(status.get("uptime_s", 0.0))
+        self.slots = _scalar(families, "repro_worker_slots") or 1.0
+        store = status.get("store") or {}
+        hits = float(store.get("hits", 0))  # type: ignore[union-attr]
+        misses = float(store.get("misses", 0))  # type: ignore[union-attr]
+        self.store_entries = float(store.get("entries", 0))  # type: ignore
+        self.store_bytes = float(store.get("total_bytes", 0))  # type: ignore
+        looked = hits + misses
+        self.hit_rate = (hits / looked) if looked else 0.0
+        self.completed = _by_label(families, "repro_jobs_completed_total",
+                                   "kind")
+        self.failed = _by_label(families, "repro_jobs_failed_total", "kind")
+        self.created = _by_label(families, "repro_jobs_created_total",
+                                 "kind")
+        self.coalesced = _by_label(families, "repro_jobs_coalesced_total",
+                                   "kind")
+        self.store_answered = _by_label(
+            families, "repro_jobs_store_answered_total", "kind")
+
+    def latency_rows(self) -> List[List[str]]:
+        """One row per latency histogram: count plus p50/p90/p99."""
+        rows = []
+        for name, label in (
+            ("repro_queue_wait_seconds", "queue wait"),
+            ("repro_job_run_seconds", "run"),
+            ("repro_job_e2e_seconds", "end-to-end"),
+        ):
+            sample = _histogram_sample(self.families, name)
+            if sample is None:
+                continue
+            buckets = _parse_buckets(sample)
+            count = int(sample.get("count", 0))
+            cells = [label, str(count)]
+            for q in QUANTILES:
+                value = quantile_from_buckets(buckets, q)
+                cells.append("-" if value is None
+                             else f"{value * 1000:.0f}ms" if value < 1
+                             else f"{value:.1f}s")
+            rows.append(cells)
+        return rows
+
+
+class TopDashboard:
+    """Snapshot history + renderer for the poll loop."""
+
+    def __init__(self) -> None:
+        self._history: Dict[str, Deque[float]] = {}
+
+    def _track(self, name: str, value: float) -> Deque[float]:
+        series = self._history.setdefault(name, deque(maxlen=HISTORY))
+        series.append(value)
+        return series
+
+    def render(self, snap: TopSnapshot, host: str, port: int) -> str:
+        """One full screen of dashboard text (no ANSI; caller clears)."""
+        queued = self._track("queued", snap.queued)
+        running = self._track("running", snap.running)
+        hit = self._track("hit_rate", snap.hit_rate * 100.0)
+        state = "DRAINING" if snap.draining else "serving"
+        lines = [
+            f"repro top — {host}:{port}  [{state}]  "
+            f"up {snap.uptime_s:.0f}s  clients {int(snap.clients)}",
+            "",
+            f"  queue   {int(snap.queued):>4}  {sparkline(list(queued))}",
+            f"  workers {int(snap.running):>2}/{int(snap.slots):<2}"
+            f"  {sparkline(list(running))}",
+            f"  store   {snap.hit_rate * 100:5.1f}% hit  "
+            f"{int(snap.store_entries)} entries, "
+            f"{format_number(snap.store_bytes)} B  {sparkline(list(hit))}",
+            "",
+        ]
+        kinds = sorted(set(snap.created) | set(snap.completed)
+                       | set(snap.failed) | set(snap.coalesced)
+                       | set(snap.store_answered))
+        if kinds:
+            rows = [[kind or "?",
+                     format_number(snap.created.get(kind, 0.0)),
+                     format_number(snap.coalesced.get(kind, 0.0)),
+                     format_number(snap.store_answered.get(kind, 0.0)),
+                     format_number(snap.completed.get(kind, 0.0)),
+                     format_number(snap.failed.get(kind, 0.0))]
+                    for kind in kinds]
+            lines.extend(aligned_table(
+                ["kind", "created", "coalesced", "store", "done", "failed"],
+                rows))
+            lines.append("")
+        latency = snap.latency_rows()
+        if latency:
+            lines.extend(aligned_table(
+                ["latency", "n", "p50", "p90", "p99"], latency))
+            lines.append("")
+        return "\n".join(lines)
+
+
+def run_top(host: str, port: int, interval_s: float = 2.0,
+            iterations: Optional[int] = None, clear: bool = True,
+            echo=print) -> int:
+    """The ``repro top`` loop: poll, render, repaint until interrupted.
+
+    ``iterations`` bounds the number of polls (``--once`` passes 1;
+    tests pass small numbers); ``None`` runs until Ctrl-C.  Returns a
+    process exit code.
+    """
+    dashboard = TopDashboard()
+    polls = 0
+    try:
+        while iterations is None or polls < iterations:
+            try:
+                with ServiceClient(host, port) as client:
+                    status = client.status()
+                    families = client.metrics().get("families") or {}
+            except ServiceError as error:
+                echo(f"repro top: {error}")
+                return 1
+            snap = TopSnapshot(status, families)  # type: ignore[arg-type]
+            screen = dashboard.render(snap, host, port)
+            echo((CLEAR if clear else "") + screen)
+            polls += 1
+            if iterations is not None and polls >= iterations:
+                break
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return 0

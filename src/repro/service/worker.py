@@ -4,9 +4,11 @@
 stdin::
 
     {"spec": {...RunSpec wire form...}, "use_store": true,
-     "timeline": true}
+     "timeline": true, "trace_id": "t3f9a..."}
 
-and emits JSON-lines events on stdout as the simulation advances:
+and emits JSON-lines events on stdout as the simulation advances (every
+event echoes the job's ``trace`` id, so the worker's stream is
+correlatable with the server log and client frames for the same job):
 
 * ``worker_started`` — pid, cache key, total reference budget;
 * ``window`` — one phase-resolved timeline window the moment the
@@ -55,10 +57,12 @@ def run_job(payload: Dict[str, object], emit: Emit) -> int:
     Factored out of :func:`main` so tests can drive the worker
     in-process with a capturing ``emit`` instead of a subprocess.
     """
+    trace_id = str(payload.get("trace_id", ""))
     try:
         spec = spec_from_wire(payload.get("spec", {}))  # type: ignore[arg-type]
     except ProtocolError as error:
-        emit({"event": "worker_error", "message": str(error)})
+        emit({"event": "worker_error", "message": str(error),
+              "trace": trace_id})
         return 1
     use_store = bool(payload.get("use_store", True))
     timeline = bool(payload.get("timeline", True))
@@ -68,7 +72,7 @@ def run_job(payload: Dict[str, object], emit: Emit) -> int:
     if use_store:
         cached = store.load(key)
         if cached is not None:
-            emit({"event": "worker_result", "key": key,
+            emit({"event": "worker_result", "key": key, "trace": trace_id,
                   "metrics": cached.to_dict(), "from_store": True,
                   "wall_s": time.monotonic() - started})
             return 0
@@ -81,12 +85,12 @@ def run_job(payload: Dict[str, object], emit: Emit) -> int:
     warmup_refs = int(references * 0.2) * num_cores
     refs_total = references * num_cores
     emit({"event": "worker_started", "key": key, "pid": os.getpid(),
-          "refs_total": refs_total})
+          "trace": trace_id, "refs_total": refs_total})
     interval = (default_timeline_interval(references, num_cores)
                 if timeline else None)
 
     def on_window(window: Dict[str, object]) -> None:
-        emit({"event": "window", "key": key,
+        emit({"event": "window", "key": key, "trace": trace_id,
               "refs_done": min(refs_total,
                                warmup_refs + int(window["end_refs"])),
               "refs_total": refs_total, "window": window})
@@ -97,11 +101,11 @@ def run_job(payload: Dict[str, object], emit: Emit) -> int:
                             on_window=on_window if timeline else None)
     except Exception as error:  # surface, don't die silently
         emit({"event": "worker_error", "key": key, "message": repr(error),
-              "traceback": traceback.format_exc()})
+              "trace": trace_id, "traceback": traceback.format_exc()})
         return 1
     if use_store:
         store.store(key, metrics)
-    emit({"event": "worker_result", "key": key,
+    emit({"event": "worker_result", "key": key, "trace": trace_id,
           "metrics": metrics.to_dict(), "from_store": False,
           "wall_s": time.monotonic() - started})
     return 0

@@ -241,13 +241,19 @@ class TestTelemetryLog:
         assert summary["worker_failures"] == 2
         assert summary["failed"]
 
-    def test_every_line_is_json_with_timestamp(self, tmp_path):
+    def test_every_line_carries_both_clocks(self, tmp_path):
         path = tmp_path / "run.jsonl"
         with JsonlLog(str(path)) as log:
             execute([RunSpec("libquantum", "standard", REFS)], jobs=1,
                     log=log)
-        for event in _read_jsonl(path):  # json.loads above validates each
-            assert event["t"] > 0
+        events = _read_jsonl(path)  # json.loads above validates each
+        for event in events:
+            assert event["ts"] > 0  # wall clock, for the outside world
+            assert event["mono"] > 0  # monotonic, for durations
+        # mono differences are valid durations: non-decreasing in file
+        # order even if the wall clock were stepped mid-run.
+        monos = [event["mono"] for event in events]
+        assert monos == sorted(monos)
 
     def test_rejects_both_path_and_stream(self, tmp_path):
         with pytest.raises(ValueError):

@@ -1,0 +1,222 @@
+"""Tests for the metrics registry and its Prometheus exposition.
+
+Covers the contract the service stack leans on: histogram bucketing
+(fixed bounds, cumulative ``le`` exposition), rendering edge cases
+(empty registry, label escaping, ``+Inf``), get-or-create family
+semantics, quantile estimation, and the scrape HTTP endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+    format_value,
+    quantile_from_buckets,
+)
+from repro.service.http import METRICS_CONTENT_TYPE, MetricsHttpServer
+
+
+class TestCounter:
+    def test_counts_up(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_things_total", "things")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.labels().value == 3.5
+
+    def test_rejects_negative(self):
+        counter = MetricsRegistry().counter("x_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_set_function_mirrors_component_state(self):
+        """The store/queue pattern: read an existing total at scrape."""
+        registry = MetricsRegistry()
+        state = {"hits": 0}
+        registry.counter("repro_hits_total").set_function(
+            lambda: float(state["hits"]))
+        state["hits"] = 7
+        assert "repro_hits_total 7\n" in registry.render()
+
+    def test_labelled_children_are_independent(self):
+        registry = MetricsRegistry()
+        jobs = registry.counter("repro_jobs_total", "jobs by kind",
+                                labels=("kind",))
+        jobs.labels("bench").inc()
+        jobs.labels("bench").inc()
+        jobs.labels("sweep").inc()
+        assert jobs.labels("bench").value == 2
+        assert jobs.labels(kind="sweep").value == 1
+
+    def test_labelless_proxy_refused_on_labelled_family(self):
+        registry = MetricsRegistry()
+        jobs = registry.counter("repro_jobs_total", labels=("kind",))
+        with pytest.raises(ValueError):
+            jobs.inc()
+        with pytest.raises(ValueError):
+            jobs.labels("a", "b")  # wrong arity
+        with pytest.raises(ValueError):
+            jobs.labels(wrong="x")  # wrong label name
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("repro_depth")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.labels().value == 6
+
+    def test_function_gauge_reads_live(self):
+        registry = MetricsRegistry()
+        box = [0]
+        registry.gauge("repro_live").set_function(lambda: float(box[0]))
+        box[0] = 42
+        assert "repro_live 42\n" in registry.render()
+
+
+class TestHistogramBucketing:
+    def test_observation_lands_in_first_covering_bucket(self):
+        hist = Histogram(bounds=(1.0, 5.0, 10.0))
+        hist.observe(0.5)   # <= 1.0
+        hist.observe(1.0)   # boundary is upper-inclusive
+        hist.observe(7.0)   # <= 10.0
+        hist.observe(99.0)  # overflow
+        assert hist.cumulative() == [
+            (1.0, 2), (5.0, 2), (10.0, 3), (math.inf, 4)]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(107.5)
+
+    def test_default_buckets_straddle_store_hits_and_simulations(self):
+        assert DEFAULT_LATENCY_BUCKETS_S[0] <= 0.005
+        assert DEFAULT_LATENCY_BUCKETS_S[-1] >= 600
+        assert list(DEFAULT_LATENCY_BUCKETS_S) == \
+            sorted(DEFAULT_LATENCY_BUCKETS_S)
+
+    def test_registry_histogram_uses_latency_buckets_by_default(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_wait_seconds", "wait")
+        hist.observe(0.3)
+        rendered = registry.render()
+        assert 'repro_wait_seconds_bucket{le="0.25"} 0' in rendered
+        assert 'repro_wait_seconds_bucket{le="0.5"} 1' in rendered
+        assert 'repro_wait_seconds_bucket{le="+Inf"} 1' in rendered
+        assert "repro_wait_seconds_sum 0.3" in rendered
+        assert "repro_wait_seconds_count 1" in rendered
+
+
+class TestRendering:
+    def test_empty_registry_renders_empty_string(self):
+        assert MetricsRegistry().render() == ""
+
+    def test_family_without_children_still_declares_itself(self):
+        """A scraper learns HELP/TYPE before the first event arrives."""
+        registry = MetricsRegistry()
+        registry.counter("repro_jobs_total", "Jobs", labels=("kind",))
+        rendered = registry.render()
+        assert "# HELP repro_jobs_total Jobs" in rendered
+        assert "# TYPE repro_jobs_total counter" in rendered
+
+    def test_label_value_escaping(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+        registry = MetricsRegistry()
+        registry.counter("esc_total", labels=("p",)).labels('a"\\\n').inc()
+        line = [l for l in registry.render().splitlines()
+                if l.startswith("esc_total{")][0]
+        assert line == 'esc_total{p="a\\"\\\\\\n"} 1'
+
+    def test_help_escaping_and_values(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "line\nbreak \\ slash").set(1.5)
+        rendered = registry.render()
+        assert "# HELP g line\\nbreak \\\\ slash" in rendered
+        assert format_value(math.inf) == "+Inf"
+        assert format_value(3.0) == "3"
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_x_total")
+        with pytest.raises(ValueError):
+            registry.counter("repro_x_total", labels=("kind",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", labels=("le",))  # reserved
+
+    def test_collect_matches_render(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_jobs_total", "Jobs",
+                         labels=("kind",)).labels("bench").inc(3)
+        hist = registry.histogram("repro_wait_seconds", buckets=(1.0,))
+        hist.observe(0.5)
+        families = registry.collect()
+        assert families["repro_jobs_total"]["samples"] == [
+            {"labels": {"kind": "bench"}, "value": 3.0}]
+        sample = families["repro_wait_seconds"]["samples"][0]
+        assert sample["buckets"] == [["1.0", 1], ["+Inf", 1]]
+        assert sample["count"] == 1
+        # collect() must stay JSON-able end to end (the metrics op).
+        json.dumps(families)
+
+
+class TestQuantiles:
+    def test_linear_interpolation_inside_bucket(self):
+        buckets = [(0.1, 1.0), (1.0, 2.0), (math.inf, 3.0)]
+        # rank 1.5 of 3 is halfway through the (0.1, 1.0] bucket.
+        assert quantile_from_buckets(buckets, 0.5) == pytest.approx(0.55)
+
+    def test_overflow_rank_returns_largest_finite_bound(self):
+        buckets = [(1.0, 1.0), (math.inf, 10.0)]
+        assert quantile_from_buckets(buckets, 0.99) == 1.0
+
+    def test_empty_histogram_is_none(self):
+        assert quantile_from_buckets([], 0.5) is None
+        assert quantile_from_buckets([(1.0, 0.0), (math.inf, 0.0)],
+                                     0.5) is None
+
+
+class TestMetricsHttpServer:
+    def test_scrape_and_healthz(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_things_total", "things").inc(2)
+        http = MetricsHttpServer(registry, port=0,
+                                 health=lambda: {"ok": True, "queued": 0})
+        http.start()
+        try:
+            with urllib.request.urlopen(f"{http.url}/metrics") as reply:
+                assert reply.status == 200
+                assert reply.headers["Content-Type"] == METRICS_CONTENT_TYPE
+                body = reply.read().decode()
+            assert "repro_things_total 2\n" in body
+            with urllib.request.urlopen(f"{http.url}/healthz") as reply:
+                health = json.load(reply)
+            assert health == {"ok": True, "queued": 0}
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{http.url}/nope")
+            assert excinfo.value.code == 404
+        finally:
+            http.stop()
+
+    def test_stop_is_idempotent_and_releases_port(self):
+        http = MetricsHttpServer(MetricsRegistry(), port=0)
+        http.start()
+        port = http.port
+        http.stop()
+        http.stop()
+        rebound = MetricsHttpServer(MetricsRegistry(), port=port)
+        rebound.stop()

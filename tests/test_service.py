@@ -146,6 +146,22 @@ class TestJobQueue:
         assert queue.pop() is job
         assert not queue.cancel(job)
 
+    def test_metrics_wiring_counts_and_observes_wait(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        queue = JobQueue(metrics=registry)
+        queue.push(_job("a"))
+        queue.push(_job("b"))
+        rendered = registry.render()
+        assert "repro_queue_pushes_total 2" in rendered
+        assert "repro_queue_depth 2" in rendered
+        popped = queue.pop()
+        assert popped.started_mono >= popped.enqueued_mono > 0
+        rendered = registry.render()
+        assert "repro_queue_depth 1" in rendered
+        assert "repro_queue_wait_seconds_count 1" in rendered
+
 
 # ----------------------------------------------------------------------
 # Worker (in-process)
@@ -184,6 +200,17 @@ class TestWorker:
                        events.append)
         assert code == 1
         assert events[-1]["event"] == "worker_error"
+
+    def test_every_event_echoes_the_trace_id(self):
+        """The worker's stdout stream IS its log; each record must be
+        correlatable with the server log and client frames by trace."""
+        spec = RunSpec("mcf", "das", REFS, 1)
+        events = []
+        code = run_job({"spec": protocol.spec_to_wire(spec),
+                        "trace_id": "t0123456789ab"}, events.append)
+        assert code == 0
+        assert len(events) >= 3  # started, windows, result
+        assert all(event["trace"] == "t0123456789ab" for event in events)
 
 
 # ----------------------------------------------------------------------
@@ -400,3 +427,204 @@ class TestServerRetries:
         assert events.count("retry") == 1
         assert _counter(harness.server, "worker_failures") == 2
         assert _counter(harness.server, "jobs_failed") == 1
+
+
+class TestStatusOp:
+    def test_status_reports_queue_store_and_uptime(self, harness):
+        with harness.client() as client:
+            client.submit_bench(RunSpec("mcf", "das", REFS, 1))
+            status = client.status()
+        assert status["queued"] == 0
+        assert status["running"] == 0
+        assert status["clients"] == 1
+        assert status["draining"] is False
+        assert status["uptime_s"] > 0
+        assert status["store"]["entries"] == 1
+        assert status["counters"]["jobs_created"] == 1
+
+
+class TestMetricsOp:
+    def test_metrics_frame_carries_exposition_and_families(self, harness):
+        with harness.client() as client:
+            outcome = client.submit_bench(RunSpec("mcf", "das", REFS, 1))
+            assert outcome.ok
+            frame = client.metrics()
+        exposition = frame["exposition"]
+        assert "# TYPE repro_jobs_completed_total counter" in exposition
+        assert 'repro_jobs_completed_total{kind="bench"} 1' in exposition
+        assert 'repro_requests_total{op="submit"} 1' in exposition
+        assert "repro_clients_connected 1" in exposition
+        # Latency histograms observed the job end-to-end.
+        assert "repro_job_e2e_seconds_count 1" in exposition
+        assert 'repro_job_e2e_seconds_bucket{le="+Inf"} 1' in exposition
+        assert "repro_queue_wait_seconds_count 1" in exposition
+        families = frame["families"]
+        # Results are written by the worker subprocess, so the server's
+        # own store counts no stores — but the queue saw the push.
+        assert families["repro_queue_pushes_total"]["samples"][0]["value"] \
+            == 1
+        assert families["repro_job_run_seconds"]["type"] == "histogram"
+
+    def test_exposition_is_prometheus_parseable(self, harness):
+        """Every non-comment line is ``name{labels} value`` with the
+        histogram series cumulative and ``+Inf``-terminated."""
+        import re
+
+        with harness.client() as client:
+            client.submit_bench(RunSpec("mcf", "das", REFS, 1))
+            exposition = client.metrics()["exposition"]
+        sample_re = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+            r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"'
+            r'(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? '
+            r'(NaN|[+-]Inf|[0-9.eE+-]+)$')
+        for line in exposition.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert sample_re.match(line), f"unparseable sample: {line!r}"
+        # One histogram checked end to end: cumulative + +Inf edge.
+        buckets = [line for line in exposition.splitlines()
+                   if line.startswith("repro_job_run_seconds_bucket")]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)
+        assert 'le="+Inf"' in buckets[-1]
+
+
+class TestTraceCorrelation:
+    def test_trace_id_spans_client_server_log_and_spans(self, tmp_path):
+        """One submission's trace id shows up in the client's frames,
+        every server JSONL job record, and the server's trace spans."""
+        from repro.exec import JsonlLog
+
+        log_path = tmp_path / "serve.jsonl"
+        instance = ServerHarness(log=JsonlLog(str(log_path)))
+        try:
+            frames = []
+            with instance.client() as client:
+                outcome = client.submit_bench(RunSpec("mcf", "das", REFS, 1),
+                                              on_event=frames.append)
+            assert outcome.ok
+            (key,) = outcome.results
+            trace = outcome.traces[key]
+            assert trace.startswith("t") and len(trace) == 13
+            # Client side: every job-scoped frame carries the trace.
+            scoped = [f for f in frames
+                      if f["event"] in ("started", "progress", "timeline",
+                                        "result")]
+            assert scoped
+            assert all(f["trace"] == trace for f in scoped)
+            # Server side: the job lifecycle log records carry it too.
+            records = [json.loads(line)
+                       for line in log_path.read_text().splitlines()]
+            lifecycle = [r["event"] for r in records
+                         if r.get("trace") == trace]
+            for expected in ("job_queued", "job_started", "job_result"):
+                assert expected in lifecycle
+            # Every record carries both clocks (ts + mono satellite).
+            assert all(r["ts"] > 0 and r["mono"] > 0 for r in records)
+            # Tracer side: queue + run spans tagged with the same id.
+            spans = [e for e in instance.server.tracer.events()
+                     if (e.args or {}).get("trace") == trace]
+            assert {e.name for e in spans} == {"queue", "run"}
+        finally:
+            instance.stop()
+
+    def test_store_answer_gets_its_own_trace(self, harness):
+        spec = RunSpec("mcf", "das", REFS, 1)
+        with harness.client() as client:
+            first = client.submit_bench(spec)
+            second = client.submit_bench(spec)
+        (key,) = first.results
+        assert second.sources[key] == protocol.SOURCE_STORE
+        assert second.traces[key].startswith("t")
+        assert second.traces[key] != first.traces[key]
+
+
+class TestMetricsHttpEndToEnd:
+    def test_scrape_live_server(self, tmp_path):
+        import urllib.request
+
+        instance = ServerHarness(metrics_port=0)
+        try:
+            assert instance.server.metrics_port not in (None, 0)
+            base = f"http://127.0.0.1:{instance.server.metrics_port}"
+            with instance.client() as client:
+                assert client.submit_bench(
+                    RunSpec("mcf", "das", REFS, 1)).ok
+            with urllib.request.urlopen(f"{base}/metrics") as reply:
+                body = reply.read().decode()
+            assert 'repro_jobs_completed_total{kind="bench"} 1' in body
+            assert "repro_job_e2e_seconds_count 1" in body
+            assert "repro_worker_slots 2" in body
+            with urllib.request.urlopen(f"{base}/healthz") as reply:
+                health = json.load(reply)
+            assert health["ok"] is True
+            assert health["draining"] is False
+        finally:
+            instance.stop()
+
+
+class TestTopDashboard:
+    def test_one_frame_renders_occupancy_and_latency(self, harness):
+        from repro.service.top import run_top
+
+        with harness.client() as client:
+            assert client.submit_bench(RunSpec("mcf", "das", REFS, 1)).ok
+        screens = []
+        code = run_top("127.0.0.1", harness.port, interval_s=0.01,
+                       iterations=2, clear=False, echo=screens.append)
+        assert code == 0
+        assert len(screens) == 2
+        screen = screens[-1]
+        assert "repro top" in screen and "[serving]" in screen
+        assert "workers  0/2" in screen
+        assert "bench" in screen  # the per-kind counter table
+        assert "end-to-end" in screen  # the latency percentile table
+
+    def test_unreachable_server_exits_nonzero(self):
+        from repro.service.top import run_top
+
+        lines = []
+        code = run_top("127.0.0.1", 1, iterations=1, echo=lines.append)
+        assert code == 1
+        assert "repro top" in lines[0]
+
+
+class TestSigintDrain:
+    def test_drain_finishes_running_and_queued_jobs(self, tmp_path):
+        """SIGINT's request_shutdown with one job running AND one queued:
+        both must complete for their subscribers before close."""
+        instance = ServerHarness(jobs=1)
+        try:
+            running = RunSpec("mcf", "das", SLOW_REFS, 11)
+            queued = RunSpec("mcf", "das", SLOW_REFS, 12)
+            with instance.client() as client:
+                for req_id, spec in (("one", running), ("two", queued)):
+                    frame = {"op": "submit", "kind": "bench", "id": req_id,
+                             "spec": protocol.spec_to_wire(spec)}
+                    client._file.write(protocol.encode(frame))
+                client._file.flush()
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    if (len(instance.server._running) == 1
+                            and len(instance.server._queue) == 1):
+                        break
+                    time.sleep(0.05)
+                assert len(instance.server._running) == 1
+                assert len(instance.server._queue) == 1
+                # What the CLI's SIGINT handler invokes.
+                instance.loop.call_soon_threadsafe(
+                    instance.server.request_shutdown)
+                done = {}
+                while len(done) < 2:
+                    line = client._file.readline()
+                    assert line, "server died before draining both jobs"
+                    event = json.loads(line)
+                    if event.get("event") == "done":
+                        done[event["id"]] = event.get("ok")
+                assert done == {"one": True, "two": True}
+            instance.thread.join(60)
+            assert not instance.thread.is_alive()
+            assert _counter(instance.server, "jobs_simulated") == 2
+        finally:
+            instance.stop()

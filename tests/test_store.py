@@ -145,6 +145,21 @@ class TestGc:
         assert store.evictions == 1
         assert store.stats()["entries"] == 0
 
+    def test_gc_dry_run_reports_without_touching(self):
+        store = get_store()
+        store.store("stale", _metrics())
+        store.store("fresh", _metrics())
+        past = time.time() - 10_000
+        os.utime(store.path_for("stale"), (past, past))
+        would = store.gc(max_age_s=5_000, dry_run=True)
+        assert would == ["stale"]
+        assert store.contains("stale") and store.contains("fresh")
+        assert store.evictions == 0
+        assert store.stats()["entries"] == 2
+        # The same bounds for real evict exactly what was predicted.
+        assert store.gc(max_age_s=5_000) == would
+        assert not store.contains("stale")
+
 
 class TestCorruptEntries:
     def test_corrupt_entry_is_a_miss_and_unlinked(self):
@@ -154,6 +169,8 @@ class TestCorruptEntries:
         path.write_text("{ truncated")
         assert store.load("bad") is None
         assert not path.exists()
+        assert store.corrupt == 1
+        assert store.stats()["corrupt"] == 1
 
     def test_wrong_shape_json_is_dropped(self):
         store = get_store()
@@ -285,6 +302,31 @@ class TestCacheCli:
                      "--max-age-days", "0.05"]) == 0
         assert "evicted 1" in capsys.readouterr().out
         assert not store.contains("a") and store.contains("b")
+
+    def test_gc_dry_run_cli(self, capsys):
+        from repro.cli import main
+
+        store = get_store()
+        store.store("a", _metrics())
+        store.store("b", _metrics())
+        past = time.time() - 10_000
+        os.utime(store.path_for("a"), (past, past))
+        directory = str(store.directory)
+
+        assert main(["cache", "gc", "--dir", directory,
+                     "--max-age-days", "0.05", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would evict a" in out
+        assert "nothing touched" in out
+        assert store.contains("a") and store.contains("b")
+
+        assert main(["cache", "gc", "--dir", directory,
+                     "--max-age-days", "0.05", "--dry-run",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["dry_run"] is True
+        assert report["evicted"] == ["a"]
+        assert store.contains("a")  # --json dry run also touches nothing
 
     def test_gc_requires_a_bound(self, capsys):
         from repro.cli import main
