@@ -98,6 +98,50 @@ def test_disabled_observability_zero_cost():
         f"observability guards are supposed to make this free")
 
 
+def test_disabled_ledger_zero_cost(tmp_path, monkeypatch):
+    """Guard audit: ``REPRO_NO_LEDGER=1`` must cost < 2%.
+
+    With recording off, the runner choke point reduces to one
+    environment lookup per call (no SQLite import, no connection, no
+    ``time.monotonic`` bracketing).  Measured the same interleaved
+    min-of-rounds way as the sampler guard above, against a run with
+    the ledger *enabled* and writing to a throwaway database — so the
+    guard also documents that the enabled path itself stays cheap
+    (one insert per run, off the simulation's critical path).
+    """
+    import os
+    import time
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+
+    def timed(enabled: bool) -> float:
+        os.environ["REPRO_NO_LEDGER"] = "0" if enabled else "1"
+        started = time.perf_counter()
+        run_workload("libquantum", "das", references=SINGLE_REFS,
+                     use_cache=False, timeline=False)
+        return time.perf_counter() - started
+
+    timed(False)  # warm imports and trace memos out of the measurement
+    timed(True)
+    best_off = best_on = float("inf")
+    for _ in range(5):
+        best_off = min(best_off, timed(False))
+        best_on = min(best_on, timed(True))
+    os.environ["REPRO_NO_LEDGER"] = "1"  # restore the suite default
+    delta = (best_on - best_off) / best_off
+    assert delta < 0.02, (
+        f"run-ledger recording costs {delta * 100.0:+.2f}% "
+        f"(on {best_on:.4f}s vs off {best_off:.4f}s); one SQLite insert "
+        f"per completed run is supposed to be in the noise")
+    # The disabled variant must leave no database behind; the enabled
+    # variant must have recorded every measured run.
+    from repro.obs.ledger import get_ledger
+
+    db = tmp_path / "store" / "ledger.db"
+    assert db.exists()
+    assert len(get_ledger(db).runs(origin="run")) == 6  # warmup + 5
+
+
 def test_metrics_registry_compiled_in_under_two_percent():
     """Guard audit: a wired metrics registry must cost < 2%.
 

@@ -36,9 +36,15 @@ MIX_SUBSET = ["M1", "M5"]
 
 @pytest.fixture(autouse=True)
 def _no_result_cache(monkeypatch, tmp_path):
-    """Point the result cache at a throwaway dir so benches measure work."""
+    """Point the result cache at a throwaway dir so benches measure work.
+
+    The run ledger is off too (its per-run SQLite insert is measured by
+    its own dedicated guard in ``bench_exec.py``, not smeared across
+    every bench).
+    """
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
     monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    monkeypatch.setenv("REPRO_NO_LEDGER", "1")
 
 
 def run_once(benchmark, func, *args, **kwargs):

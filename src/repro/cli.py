@@ -20,8 +20,13 @@ Examples::
     repro submit experiment fig7a  # server-side experiment + tabulation
     repro status                   # a running server's counters and queue
     repro top                      # live dashboard (queue, workers, p99s)
+    repro top --once --json        # one machine-readable snapshot
     repro cache stats              # the content-addressed result store
     repro cache gc --max-mb 100    # evict LRU entries past a size cap
+    repro ledger ls                # recent runs from the run ledger
+    repro ledger query --origin service --json   # filtered run history
+    repro perf history single_das  # wall-time trajectory vs baseline
+    repro report --out report.html # self-contained HTML run report
 """
 
 from __future__ import annotations
@@ -179,6 +184,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="compare the best wall of N runs against the "
                             "baseline; counters must repeat exactly "
                             "(default: 1)")
+    p_history = perf_sub.add_parser(
+        "history",
+        help="recorded wall-time/counter trajectory of one scenario "
+             "(from the run ledger) vs the committed baseline")
+    p_history.add_argument("name", help="scenario name (see 'perf list')")
+    p_history.add_argument("--dir", default="benchmarks/baselines",
+                           help="baseline directory "
+                                "(default: benchmarks/baselines)")
+    p_history.add_argument("--limit", type=int, default=None, metavar="N",
+                           help="show only the last N measurements")
+    p_history.add_argument("--json", action="store_true", dest="as_json",
+                           help="emit rows + findings as JSON")
 
     events = sub.add_parser(
         "events", help="re-simulate with event tracing; export the trace")
@@ -364,6 +381,10 @@ def _build_parser() -> argparse.ArgumentParser:
     top.add_argument("--once", action="store_true",
                      help="render one frame and exit (no screen clearing; "
                           "good for scripts and screenshots)")
+    top.add_argument("--json", action="store_true", dest="as_json",
+                     help="emit one machine-readable snapshot (queue, "
+                          "workers, store, latency percentiles) and exit; "
+                          "implies --once")
 
     cache = sub.add_parser(
         "cache", help="inspect / garbage-collect the result store")
@@ -386,6 +407,56 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="store directory (default: "
                                 "$REPRO_CACHE_DIR or .repro_cache)")
         c_cmd.add_argument("--json", action="store_true", dest="as_json")
+
+    ledger = sub.add_parser(
+        "ledger", help="query the durable run ledger (SQLite history of "
+                       "every completed simulation)")
+    ledger_sub = ledger.add_subparsers(dest="ledger_command", required=True)
+    l_ls = ledger_sub.add_parser("ls", help="recent runs, newest first")
+    l_ls.add_argument("--limit", type=int, default=20, metavar="N",
+                      help="rows to show (default: 20)")
+    l_show = ledger_sub.add_parser("show", help="one run row, all fields")
+    l_show.add_argument("id", type=int, help="row id (see 'ledger ls')")
+    l_query = ledger_sub.add_parser(
+        "query", help="filter runs by workload/design/origin/age")
+    l_query.add_argument("--workload", default=None)
+    l_query.add_argument("--design", default=None)
+    l_query.add_argument("--origin", default=None,
+                         help="run | service | perf | validate")
+    l_query.add_argument("--since", type=float, default=None, metavar="DAYS",
+                         help="only rows recorded in the last DAYS days")
+    l_query.add_argument("--limit", type=int, default=None, metavar="N")
+    l_prune = ledger_sub.add_parser(
+        "prune", help="delete old run rows (perf/validate history stays)")
+    l_prune.add_argument("--older-than-days", type=float, default=None,
+                         metavar="D", dest="older_than_days",
+                         help="drop run rows older than D days")
+    l_prune.add_argument("--keep-last", type=int, default=None, metavar="N",
+                         dest="keep_last",
+                         help="then keep only the newest N run rows")
+    l_prune.add_argument("--dry-run", action="store_true",
+                         help="report what would be pruned, delete nothing")
+    for l_cmd in (l_ls, l_show, l_query, l_prune):
+        l_cmd.add_argument("--dir", default=None, metavar="PATH",
+                           help="store directory holding ledger.db "
+                                "(default: $REPRO_CACHE_DIR or "
+                                ".repro_cache)")
+        l_cmd.add_argument("--json", action="store_true", dest="as_json")
+
+    report = sub.add_parser(
+        "report", help="write a self-contained HTML report over the run "
+                       "ledger (inline CSS/SVG, no external requests)")
+    report.add_argument("--out", default="report.html", metavar="PATH",
+                        help="output file (default: report.html)")
+    report.add_argument("--limit", type=int, default=50, metavar="N",
+                        help="rows in the recent-runs table (default: 50)")
+    report.add_argument("--dir", default=None, metavar="PATH",
+                        help="store directory holding ledger.db (default: "
+                             "$REPRO_CACHE_DIR or .repro_cache)")
+    report.add_argument("--baseline-dir", default="benchmarks/baselines",
+                        metavar="PATH", dest="baseline_dir",
+                        help="committed perf baselines to draw as trend "
+                             "references (default: benchmarks/baselines)")
     return parser
 
 
@@ -529,6 +600,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _top_command(args)
     if args.command == "cache":
         return _cache_command(args)
+    if args.command == "ledger":
+        return _ledger_command(args)
+    if args.command == "report":
+        return _report_command(args)
     raise AssertionError("unreachable")
 
 
@@ -770,9 +845,10 @@ def _top_command(args) -> int:
     """Handle ``repro top``: live dashboard over the job socket."""
     from .service.top import run_top
 
+    once = args.once or args.as_json  # --json implies a single snapshot
     return run_top(args.host, args.port, interval_s=args.interval,
-                   iterations=1 if args.once else None,
-                   clear=not args.once)
+                   iterations=1 if once else None,
+                   clear=not once, as_json=args.as_json)
 
 
 def _cache_command(args) -> int:
@@ -821,14 +897,17 @@ def _cache_command(args) -> int:
         dry_run=args.dry_run)
     stats = store.stats()
     if args.as_json:
-        print(json.dumps({"evicted": evicted, "dry_run": args.dry_run,
+        print(json.dumps({"evicted": [e.to_dict() for e in evicted],
+                          "dry_run": args.dry_run,
                           "stats": stats}, indent=2))
     elif args.dry_run:
-        for key in evicted:
-            print(f"would evict {key}")
+        for eviction in evicted:
+            print(f"would evict {eviction}")
         print(f"dry run: would evict {len(evicted)} of "
               f"{stats['entries']} entries (nothing touched)")
     else:
+        for eviction in evicted:
+            print(f"evicted {eviction}")
         print(f"evicted {len(evicted)} entries; {stats['entries']} "
               f"remain ({int(stats['total_bytes']) / 1e6:.2f} MB)")
     return 0
@@ -1056,7 +1135,7 @@ def _compare_command(args) -> int:
 
 
 def _perf_command(args) -> int:
-    """Handle ``repro perf list|record|check``."""
+    """Handle ``repro perf list|record|check|history``."""
     from .obs import perf
 
     if args.perf_command == "list":
@@ -1064,6 +1143,8 @@ def _perf_command(args) -> int:
         for name, scenario in perf.SCENARIOS.items():
             print(f"{name.ljust(width)}  {scenario.description}")
         return 0
+    if args.perf_command == "history":
+        return _perf_history_command(args)
     try:
         if args.perf_command == "record":
             written = perf.record(args.names or None, directory=args.dir,
@@ -1085,6 +1166,182 @@ def _perf_command(args) -> int:
             print(f"  {finding}", file=sys.stderr)
         return 1
     print("all perf baselines hold")
+    return 0
+
+
+def _perf_history_command(args) -> int:
+    """Handle ``repro perf history``: trajectory + regression flags."""
+    import json
+
+    from .obs import perf
+    from .obs.render import aligned_table, sparkline
+
+    try:
+        result = perf.history(args.name, directory=args.dir,
+                              limit=args.limit)
+    except KeyError as error:
+        print(str(error.args[0]), file=sys.stderr)
+        return 2
+    rows = result["rows"]
+    findings = result["findings"]
+    if args.as_json:
+        print(json.dumps({
+            "scenario": result["scenario"],
+            "rows": rows,
+            "baseline": result["baseline"],
+            "findings": [{"scenario": f.scenario, "kind": f.kind,
+                          "message": f.message} for f in findings],
+        }, indent=2))
+        return 1 if findings else 0
+    if not rows:
+        print(f"{args.name}: no measurements in the run ledger yet -- "
+              f"'repro perf record {args.name}' or 'repro perf check' "
+              f"append one per run")
+        return 0
+    import time as time_module
+
+    baseline = result["baseline"] or {}
+    walls = [float(r["wall_s"]) for r in rows]
+    print(f"{args.name}: {len(rows)} measurement(s)  "
+          f"wall {sparkline(walls)}")
+    if baseline.get("wall_s"):
+        print(f"  committed baseline: {float(baseline['wall_s']):.3f}s "
+              f"(±{float(baseline.get('wall_tolerance', 0.2)) * 100:.0f}%)")
+    table_rows = []
+    counter_keys = sorted(rows[-1]["counters"]) if rows else []
+    for row in rows:
+        stamp = time_module.strftime("%Y-%m-%d %H:%M:%S",
+                                     time_module.localtime(row["ts"]))
+        table_rows.append([stamp, row["mode"], f"{row['wall_s']:.3f}s",
+                           str(row["code_version"])])
+    print()
+    for line in aligned_table(["when", "mode", "wall", "code"], table_rows):
+        print(line)
+    for key in counter_keys:
+        series = [float(r["counters"].get(key, 0.0)) for r in rows]
+        print(f"  {key:<18} {sparkline(series)}  latest "
+              f"{series[-1]:g}")
+    if findings:
+        print(f"\n{len(findings)} regression flag(s):", file=sys.stderr)
+        for finding in findings:
+            print(f"  {finding}", file=sys.stderr)
+        return 1
+    print("\nlatest measurement agrees with the committed baseline"
+          if baseline else
+          "\nno committed baseline to compare against "
+          "('repro perf record' writes one)")
+    return 0
+
+
+def _ledger_command(args) -> int:
+    """Handle ``repro ledger ls|show|query|prune`` (offline)."""
+    import json
+    import time
+
+    from .obs.ledger import get_ledger
+    from .obs.render import aligned_table
+
+    path = None
+    if args.dir is not None:
+        from pathlib import Path
+
+        path = Path(args.dir) / "ledger.db"
+    ledger = get_ledger(path)
+
+    def print_rows(rows) -> None:
+        if args.as_json:
+            print(json.dumps(rows, indent=2))
+            return
+        if not rows:
+            print(f"ledger {ledger.path}: no matching runs")
+            return
+        table = []
+        for r in rows:
+            stamp = time.strftime("%m-%d %H:%M:%S",
+                                  time.localtime(r["ts"]))
+            table.append([
+                str(r["id"]), stamp, r["workload"], r["design"],
+                str(r["refs"]), r["origin"],
+                "cache" if r["cache_hit"] else "fresh",
+                "-" if r["ipc"] is None else f"{r['ipc']:.3f}",
+                f"{r['wall_s']:.3f}s", r["trace_id"]])
+        for line in aligned_table(
+                ["id", "when", "workload", "design", "refs", "origin",
+                 "source", "ipc", "wall", "trace"], table):
+            print(line)
+
+    if args.ledger_command == "ls":
+        print_rows(ledger.runs(limit=args.limit))
+        return 0
+    if args.ledger_command == "query":
+        since_ts = (time.time() - args.since * 86400.0
+                    if args.since is not None else None)
+        print_rows(ledger.runs(workload=args.workload, design=args.design,
+                               origin=args.origin, since_ts=since_ts,
+                               limit=args.limit))
+        return 0
+    if args.ledger_command == "show":
+        row = ledger.run_by_id(args.id)
+        if row is None:
+            print(f"ledger {ledger.path}: no run with id {args.id}",
+                  file=sys.stderr)
+            return 1
+        if args.as_json:
+            print(json.dumps(row, indent=2))
+            return 0
+        width = max(len(k) for k in row)
+        for key, value in row.items():
+            if key == "ts":
+                value = time.strftime("%Y-%m-%d %H:%M:%S",
+                                      time.localtime(value))
+            print(f"{key.ljust(width)}  {value}")
+        return 0
+    # prune
+    if args.older_than_days is None and args.keep_last is None:
+        print("ledger prune: pass --older-than-days and/or --keep-last",
+              file=sys.stderr)
+        return 2
+    before_ts = (time.time() - args.older_than_days * 86400.0
+                 if args.older_than_days is not None else None)
+    result = ledger.prune(before_ts=before_ts, keep_last=args.keep_last,
+                          dry_run=args.dry_run)
+    if args.as_json:
+        print(json.dumps({**result, "dry_run": args.dry_run,
+                          "stats": ledger.stats()}, indent=2))
+        return 0
+    verb = "would prune" if args.dry_run else "pruned"
+    print(f"{verb} {result['pruned']} run row(s) "
+          f"({result['aged']} by age, {result['overflow']} over "
+          f"--keep-last); {ledger.stats()['runs']} remain")
+    return 0
+
+
+def _report_command(args) -> int:
+    """Handle ``repro report``: write the self-contained HTML page."""
+    import json
+    from pathlib import Path
+
+    from .obs.ledger import get_ledger
+    from .obs.report import write_report
+
+    ledger = get_ledger(Path(args.dir) / "ledger.db"
+                        if args.dir is not None else None)
+    baselines = {}
+    baseline_dir = Path(args.baseline_dir)
+    if baseline_dir.is_dir():
+        for path in sorted(baseline_dir.glob("BENCH_*.json")):
+            try:
+                with path.open() as stream:
+                    data = json.load(stream)
+                baselines[data["name"]] = data
+            except (ValueError, KeyError, OSError):
+                continue  # a malformed baseline never blocks the report
+    out = write_report(Path(args.out), ledger, limit=args.limit,
+                       baselines=baselines)
+    stats = ledger.stats()
+    print(f"report -> {out} ({stats['runs']} runs, "
+          f"{stats['perf_runs']} perf measurements, "
+          f"{stats['validate_runs']} validate runs)")
     return 0
 
 

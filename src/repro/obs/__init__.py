@@ -16,7 +16,11 @@ Built on :mod:`repro.common.statistics`:
 * :mod:`repro.obs.perf` — perf-regression baselines (``repro perf``);
 * :mod:`repro.obs.metrics` — the labels-aware counter/gauge/histogram
   registry with Prometheus text exposition that the job service scrapes
-  (``repro serve --metrics-port`` / ``repro top``).
+  (``repro serve --metrics-port`` / ``repro top``);
+* :mod:`repro.obs.ledger` — the durable SQLite run ledger recording one
+  row per completed simulation (``repro ledger`` / ``repro report``);
+* :mod:`repro.obs.report` — the self-contained HTML report built from
+  the ledger (``repro report``).
 
 Executor telemetry (structured JSON-lines run logs) lives next to the
 worker pool in :mod:`repro.exec.telemetry`.

@@ -1,0 +1,578 @@
+"""Durable run ledger: a SQLite history of every simulation.
+
+The :class:`~repro.service.store.ResultStore` keeps only the *latest*
+payload per spec hash; this module keeps the **story**: one row per
+completed simulation — spec hash, shape, code version, origin, trace
+id, wall time, cache hit vs fresh, and the headline metrics (IPC,
+row-buffer / fast-slot hit rates, promotions) — in
+``.repro_cache/ledger.db`` next to the store entries it indexes
+(``REPRO_CACHE_DIR`` moves both together).
+
+Three tables, one per record family:
+
+* ``runs`` — every completed simulation, written at the runner/worker
+  choke points (:func:`repro.sim.runner.run_workload` and
+  :func:`repro.service.worker.run_job`), so the CLI path, the offline
+  pool's subprocesses, service workers, ``repro perf`` and ``repro
+  validate`` all feed it with no per-call-site wiring.  Each row
+  carries a ``ts`` wall-clock stamp (same convention as the JSONL
+  telemetry's ``ts`` field) and a ``trace_id`` correlatable with the
+  service log.
+* ``perf_runs`` — one row per measured perf scenario (``repro perf
+  record|check``), holding the wall time and the deterministic counter
+  set; ``repro perf history`` renders trajectories from it.
+* ``validate_runs`` — one summary row per ``repro validate``
+  invocation (scale, pass/fail counts, snapshot vs simulated).
+
+Design constraints:
+
+* **Recording never fails a run.**  Every write is wrapped: a corrupt
+  or concurrently-locked database is rebuilt (or the row is dropped),
+  and the simulation result is returned regardless.  ``repro`` is a
+  simulator first; its history is best-effort.
+* **Concurrent writers are expected.**  Pool workers and service
+  workers are separate processes completing simultaneously; the
+  database runs in WAL mode with a busy timeout so racing inserts both
+  land.
+* **Zero cost when disabled.**  ``REPRO_NO_LEDGER=1`` reduces the
+  choke points to one environment lookup (the
+  ``benchmarks/bench_exec.py`` cadence guard audits the consequence).
+
+Stdlib ``sqlite3`` only — no new dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Bump when the table layout changes (stored in ``PRAGMA user_version``).
+SCHEMA_VERSION = 1
+
+#: Environment switch: ``1`` disables all ledger recording.
+NO_LEDGER_ENV = "REPRO_NO_LEDGER"
+
+#: Environment override for the origin recorded by the runner choke
+#: point.  An env var (not a module global) so the offline pool's
+#: worker subprocesses inherit it.
+ORIGIN_ENV = "REPRO_LEDGER_ORIGIN"
+
+#: The origin vocabulary (callers may mint others; these are the known
+#: writers): ``run`` CLI/offline-pool simulations, ``service`` job-server
+#: workers, ``perf`` baseline scenarios, ``validate`` ledger checks.
+ORIGINS = ("run", "service", "perf", "validate")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    id INTEGER PRIMARY KEY,
+    ts REAL NOT NULL,
+    spec_key TEXT NOT NULL,
+    workload TEXT NOT NULL,
+    design TEXT NOT NULL,
+    refs INTEGER NOT NULL,
+    num_cores INTEGER NOT NULL,
+    seed INTEGER NOT NULL,
+    code_version INTEGER NOT NULL,
+    origin TEXT NOT NULL,
+    trace_id TEXT NOT NULL,
+    cache_hit INTEGER NOT NULL,
+    wall_s REAL NOT NULL,
+    ipc REAL,
+    row_buffer_hit_rate REAL,
+    fast_hit_rate REAL,
+    promotions INTEGER,
+    mpki REAL,
+    mean_read_latency_ns REAL
+);
+CREATE INDEX IF NOT EXISTS runs_ts ON runs (ts);
+CREATE INDEX IF NOT EXISTS runs_shape ON runs (workload, design);
+CREATE TABLE IF NOT EXISTS perf_runs (
+    id INTEGER PRIMARY KEY,
+    ts REAL NOT NULL,
+    scenario TEXT NOT NULL,
+    mode TEXT NOT NULL,
+    wall_s REAL NOT NULL,
+    code_version INTEGER NOT NULL,
+    scale TEXT NOT NULL,
+    counters TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS perf_runs_scenario ON perf_runs (scenario, ts);
+CREATE TABLE IF NOT EXISTS validate_runs (
+    id INTEGER PRIMARY KEY,
+    ts REAL NOT NULL,
+    scale TEXT NOT NULL,
+    ok INTEGER NOT NULL,
+    passed INTEGER NOT NULL,
+    failed INTEGER NOT NULL,
+    skipped INTEGER NOT NULL,
+    errors INTEGER NOT NULL,
+    code_version INTEGER NOT NULL,
+    source TEXT NOT NULL
+);
+"""
+
+_RUN_COLUMNS = (
+    "ts", "spec_key", "workload", "design", "refs", "num_cores", "seed",
+    "code_version", "origin", "trace_id", "cache_hit", "wall_s", "ipc",
+    "row_buffer_hit_rate", "fast_hit_rate", "promotions", "mpki",
+    "mean_read_latency_ns",
+)
+
+
+def new_trace_id() -> str:
+    """A fresh correlation id (same shape the job server mints)."""
+    return "t" + uuid.uuid4().hex[:12]
+
+
+def ledger_path() -> Path:
+    """The database location: ``<store root>/ledger.db``."""
+    from ..service.store import store_root
+
+    return store_root() / "ledger.db"
+
+
+def ledger_enabled() -> bool:
+    """Whether recording is on (``REPRO_NO_LEDGER=1`` turns it off)."""
+    return os.environ.get(NO_LEDGER_ENV, "0") != "1"
+
+
+def current_origin() -> str:
+    """The origin the runner choke point stamps (default ``run``)."""
+    return os.environ.get(ORIGIN_ENV, "run")
+
+
+class ledger_origin:
+    """Context manager scoping :func:`current_origin` to ``origin``.
+
+    Implemented over an environment variable so subprocesses forked or
+    spawned inside the scope (the offline pool's workers) inherit it.
+    """
+
+    def __init__(self, origin: str) -> None:
+        self.origin = origin
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> "ledger_origin":
+        self._previous = os.environ.get(ORIGIN_ENV)
+        os.environ[ORIGIN_ENV] = self.origin
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._previous is None:
+            os.environ.pop(ORIGIN_ENV, None)
+        else:
+            os.environ[ORIGIN_ENV] = self._previous
+
+
+class RunLedger:
+    """The SQLite-backed run index.
+
+    Connections are lazy, per-instance and re-opened after a fork (the
+    pid is checked) so one registry entry is safe to share across the
+    pool's fork points.  Every public method is failure-isolated: a
+    corrupt database is rebuilt in place (losing history, never the
+    run), and write errors drop the row rather than raising.
+    """
+
+    def __init__(self, path: Optional[os.PathLike] = None) -> None:
+        self.path = Path(path) if path is not None else ledger_path()
+        self._conn: Optional[sqlite3.Connection] = None
+        self._conn_pid: Optional[int] = None
+        #: Times a corrupt database was detected and re-created.
+        self.rebuilds = 0
+        #: Rows dropped because recording failed even after a rebuild.
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(str(self.path), timeout=5.0,
+                               check_same_thread=False)
+        conn.row_factory = sqlite3.Row
+        # WAL lets concurrent workers append without blocking readers;
+        # the busy timeout covers the brief write-lock handoff between
+        # two workers completing simultaneously.
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA busy_timeout=5000")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.executescript(_SCHEMA)
+        if conn.execute("PRAGMA user_version").fetchone()[0] == 0:
+            conn.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
+        conn.commit()
+        return conn
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None or self._conn_pid != os.getpid():
+            # After a fork the child must not reuse the parent's handle;
+            # closing it from the child would also corrupt the parent's,
+            # so the inherited object is simply abandoned.
+            self._conn = self._connect()
+            self._conn_pid = os.getpid()
+        return self._conn
+
+    def _rebuild(self) -> None:
+        """Drop a corrupt database and start a fresh one."""
+        self.rebuilds += 1
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.unlink(f"{self.path}{suffix}")
+            except OSError:
+                pass
+        self._conn = self._connect()
+        self._conn_pid = os.getpid()
+
+    def _guarded(self, action):
+        """Run ``action(conn)``; on database damage rebuild and retry.
+
+        Returns ``None`` (and counts a drop for writes) when even the
+        retry fails — recording and querying must never take down the
+        simulation they describe.
+        """
+        try:
+            return action(self._connection())
+        except sqlite3.DatabaseError:
+            try:
+                self._rebuild()
+                return action(self._connection())
+            except sqlite3.DatabaseError:
+                self.dropped += 1
+                return None
+        except OSError:
+            self.dropped += 1
+            return None
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def record_run(self, **fields: object) -> Optional[int]:
+        """Insert one ``runs`` row; returns its id (``None`` if dropped).
+
+        ``fields`` must cover :data:`_RUN_COLUMNS`; missing headline
+        metrics may be ``None``.
+        """
+        row = {column: fields.get(column) for column in _RUN_COLUMNS}
+
+        def action(conn: sqlite3.Connection) -> int:
+            with conn:
+                cursor = conn.execute(
+                    f"INSERT INTO runs ({', '.join(_RUN_COLUMNS)}) "
+                    f"VALUES ({', '.join('?' * len(_RUN_COLUMNS))})",
+                    tuple(row[column] for column in _RUN_COLUMNS))
+            return int(cursor.lastrowid)
+
+        return self._guarded(action)
+
+    def record_perf(self, scenario: str, mode: str, wall_s: float,
+                    counters: Dict[str, float], code_version: int,
+                    scale: Dict[str, int],
+                    ts: Optional[float] = None) -> Optional[int]:
+        """Insert one ``perf_runs`` row (``mode`` is record/check)."""
+        def action(conn: sqlite3.Connection) -> int:
+            with conn:
+                cursor = conn.execute(
+                    "INSERT INTO perf_runs (ts, scenario, mode, wall_s, "
+                    "code_version, scale, counters) VALUES (?,?,?,?,?,?,?)",
+                    (ts if ts is not None else time.time(), scenario, mode,
+                     wall_s, code_version,
+                     json.dumps(scale, sort_keys=True),
+                     json.dumps(counters, sort_keys=True)))
+            return int(cursor.lastrowid)
+
+        return self._guarded(action)
+
+    def record_validate(self, scale: str, ok: bool,
+                        counts: Dict[str, int], code_version: int,
+                        source: str,
+                        ts: Optional[float] = None) -> Optional[int]:
+        """Insert one ``validate_runs`` summary row."""
+        def action(conn: sqlite3.Connection) -> int:
+            with conn:
+                cursor = conn.execute(
+                    "INSERT INTO validate_runs (ts, scale, ok, passed, "
+                    "failed, skipped, errors, code_version, source) "
+                    "VALUES (?,?,?,?,?,?,?,?,?)",
+                    (ts if ts is not None else time.time(), scale,
+                     1 if ok else 0, int(counts.get("pass", 0)),
+                     int(counts.get("fail", 0)), int(counts.get("skip", 0)),
+                     int(counts.get("error", 0)), code_version, source))
+            return int(cursor.lastrowid)
+
+        return self._guarded(action)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _rows(cursor) -> List[Dict[str, object]]:
+        return [dict(row) for row in cursor.fetchall()]
+
+    def runs(
+        self,
+        workload: Optional[str] = None,
+        design: Optional[str] = None,
+        origin: Optional[str] = None,
+        since_ts: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, object]]:
+        """``runs`` rows (newest first), optionally filtered."""
+        clauses: List[str] = []
+        params: List[object] = []
+        for column, value in (("workload", workload), ("design", design),
+                              ("origin", origin)):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        if since_ts is not None:
+            clauses.append("ts >= ?")
+            params.append(since_ts)
+        sql = "SELECT * FROM runs"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY ts DESC, id DESC"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        result = self._guarded(
+            lambda conn: self._rows(conn.execute(sql, params)))
+        return result if result is not None else []
+
+    def run_by_id(self, row_id: int) -> Optional[Dict[str, object]]:
+        """One ``runs`` row by id, or ``None``."""
+        result = self._guarded(lambda conn: self._rows(conn.execute(
+            "SELECT * FROM runs WHERE id = ?", (int(row_id),))))
+        return result[0] if result else None
+
+    def perf_history(self, scenario: Optional[str] = None,
+                     limit: Optional[int] = None
+                     ) -> List[Dict[str, object]]:
+        """``perf_runs`` rows oldest-first (a trajectory), decoded.
+
+        With ``limit`` the *most recent* N rows are returned, still in
+        chronological order.
+        """
+        sql = "SELECT * FROM perf_runs"
+        params: List[object] = []
+        if scenario is not None:
+            sql += " WHERE scenario = ?"
+            params.append(scenario)
+        sql += " ORDER BY ts DESC, id DESC"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        result = self._guarded(
+            lambda conn: self._rows(conn.execute(sql, params)))
+        rows = list(reversed(result)) if result is not None else []
+        for row in rows:
+            for key in ("counters", "scale"):
+                try:
+                    row[key] = json.loads(row[key])  # type: ignore[arg-type]
+                except (TypeError, ValueError):
+                    row[key] = {}
+        return rows
+
+    def latest_validate(self) -> Optional[Dict[str, object]]:
+        """The most recent ``validate_runs`` row, or ``None``."""
+        result = self._guarded(lambda conn: self._rows(conn.execute(
+            "SELECT * FROM validate_runs ORDER BY ts DESC, id DESC "
+            "LIMIT 1")))
+        return result[0] if result else None
+
+    def breakdown(self, column: str) -> List[Dict[str, object]]:
+        """Aggregate ``runs`` by ``column`` (workload/design/origin).
+
+        Each group reports run count, fresh-simulation count, total
+        fresh wall time and mean IPC — the per-design/per-workload
+        tables of ``repro report``.
+        """
+        if column not in ("workload", "design", "origin"):
+            raise ValueError(f"cannot break down by {column!r}")
+        result = self._guarded(lambda conn: self._rows(conn.execute(
+            f"SELECT {column} AS name, COUNT(*) AS runs, "
+            f"SUM(1 - cache_hit) AS fresh, "
+            f"SUM((1 - cache_hit) * wall_s) AS fresh_wall_s, "
+            f"AVG(ipc) AS mean_ipc, AVG(mpki) AS mean_mpki "
+            f"FROM runs GROUP BY {column} ORDER BY runs DESC, name")))
+        return result if result is not None else []
+
+    def stats(self) -> Dict[str, object]:
+        """One summary dict (row counts per table, path, span)."""
+        def action(conn: sqlite3.Connection) -> Dict[str, object]:
+            counts = {table: conn.execute(
+                f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+                for table in ("runs", "perf_runs", "validate_runs")}
+            span = conn.execute(
+                "SELECT MIN(ts), MAX(ts) FROM runs").fetchone()
+            return {"path": str(self.path), **counts,
+                    "first_ts": span[0], "last_ts": span[1],
+                    "rebuilds": self.rebuilds, "dropped": self.dropped}
+
+        result = self._guarded(action)
+        return result if result is not None else {
+            "path": str(self.path), "runs": 0, "perf_runs": 0,
+            "validate_runs": 0, "first_ts": None, "last_ts": None,
+            "rebuilds": self.rebuilds, "dropped": self.dropped}
+
+    # ------------------------------------------------------------------
+    # Pruning
+    # ------------------------------------------------------------------
+
+    def prune(self, before_ts: Optional[float] = None,
+              keep_last: Optional[int] = None,
+              dry_run: bool = False) -> Dict[str, int]:
+        """Delete old ``runs`` rows; returns per-criterion counts.
+
+        ``before_ts`` drops rows older than the stamp; ``keep_last``
+        then keeps only the newest N.  ``dry_run`` reports what would
+        go without deleting.  Perf and validate histories are never
+        pruned here — they are tiny and *are* the long-term trend data.
+        """
+        def action(conn: sqlite3.Connection) -> Dict[str, int]:
+            aged = 0
+            overflow = 0
+            with conn:
+                if before_ts is not None:
+                    aged = conn.execute(
+                        "SELECT COUNT(*) FROM runs WHERE ts < ?",
+                        (before_ts,)).fetchone()[0]
+                    if not dry_run and aged:
+                        conn.execute("DELETE FROM runs WHERE ts < ?",
+                                     (before_ts,))
+                if keep_last is not None:
+                    survivors = ("SELECT id FROM runs "
+                                 + ("WHERE ts >= ? " if dry_run
+                                    and before_ts is not None else "")
+                                 + "ORDER BY ts DESC, id DESC LIMIT ?")
+                    params: Tuple[object, ...] = (
+                        (before_ts, int(keep_last)) if dry_run
+                        and before_ts is not None else (int(keep_last),))
+                    total = conn.execute(
+                        "SELECT COUNT(*) FROM runs"
+                        + (" WHERE ts >= ?" if dry_run
+                           and before_ts is not None else ""),
+                        params[:-1]).fetchone()[0]
+                    overflow = max(0, total - int(keep_last))
+                    if not dry_run and overflow:
+                        conn.execute(
+                            f"DELETE FROM runs WHERE id NOT IN ({survivors})",
+                            params)
+            return {"aged": int(aged), "overflow": int(overflow),
+                    "pruned": int(aged + overflow)}
+
+        result = self._guarded(action)
+        return result if result is not None else {
+            "aged": 0, "overflow": 0, "pruned": 0}
+
+
+# ----------------------------------------------------------------------
+# Per-path ledger registry and the recording facade
+# ----------------------------------------------------------------------
+
+_LEDGERS: Dict[str, RunLedger] = {}
+
+
+def get_ledger(path: Optional[os.PathLike] = None) -> RunLedger:
+    """The shared :class:`RunLedger` for ``path``.
+
+    Like :func:`repro.service.store.get_store`, the default path is
+    re-resolved from the environment on every call so tests and the
+    CLI that flip ``REPRO_CACHE_DIR`` mid-process get the ledger they
+    asked for.
+    """
+    resolved = Path(path) if path is not None else ledger_path()
+    token = str(resolved)
+    ledger = _LEDGERS.get(token)
+    if ledger is None:
+        ledger = RunLedger(resolved)
+        _LEDGERS[token] = ledger
+    return ledger
+
+
+def record_run(
+    metrics,
+    spec_key: str,
+    *,
+    cache_hit: bool,
+    wall_s: float,
+    seed: int = 1,
+    origin: Optional[str] = None,
+    trace_id: Optional[str] = None,
+    directory: Optional[os.PathLike] = None,
+) -> Optional[int]:
+    """Record one completed simulation (the choke-point entry).
+
+    ``metrics`` is a :class:`~repro.sim.metrics.RunMetrics`; headline
+    fields are derived from it.  ``origin`` defaults to the scoped
+    :func:`current_origin`; ``trace_id`` defaults to a freshly minted
+    id so every row is correlatable even off the service path.  No-op
+    (returning ``None``) when the ledger is disabled, and never raises.
+    """
+    if not ledger_enabled():
+        return None
+    try:
+        from ..sim.runner import CODE_VERSION
+
+        locations = metrics.access_locations or {}
+        ipc = (sum(metrics.ipc) / len(metrics.ipc)) if metrics.ipc else None
+        return get_ledger(directory).record_run(
+            ts=time.time(),
+            spec_key=spec_key,
+            workload=metrics.workload,
+            design=metrics.design,
+            refs=int(metrics.references),
+            num_cores=max(1, len(metrics.time_ns)),
+            seed=int(seed),
+            code_version=CODE_VERSION,
+            origin=origin if origin is not None else current_origin(),
+            trace_id=trace_id if trace_id is not None else new_trace_id(),
+            cache_hit=1 if cache_hit else 0,
+            wall_s=float(wall_s),
+            ipc=ipc,
+            row_buffer_hit_rate=locations.get("row_buffer"),
+            fast_hit_rate=locations.get("fast"),
+            promotions=int(metrics.promotions),
+            mpki=float(metrics.mpki),
+            mean_read_latency_ns=float(metrics.mean_read_latency_ns),
+        )
+    except Exception:
+        return None  # history is best-effort, the run result is not
+
+
+def record_perf(scenario: str, mode: str, wall_s: float,
+                counters: Dict[str, float], code_version: int,
+                scale: Dict[str, int]) -> Optional[int]:
+    """Record one perf scenario measurement (no-op when disabled)."""
+    if not ledger_enabled():
+        return None
+    try:
+        return get_ledger().record_perf(scenario, mode, wall_s, counters,
+                                        code_version, scale)
+    except Exception:
+        return None
+
+
+def record_validate(scale: str, ok: bool, counts: Dict[str, int],
+                    code_version: int, source: str) -> Optional[int]:
+    """Record one validate summary (no-op when disabled)."""
+    if not ledger_enabled():
+        return None
+    try:
+        return get_ledger().record_validate(scale, ok, counts,
+                                            code_version, source)
+    except Exception:
+        return None

@@ -201,20 +201,26 @@ class Histogram:
 
 
 def quantile_from_buckets(buckets: Sequence[Tuple[float, float]],
-                          q: float) -> Optional[float]:
+                          q: float) -> float:
     """Estimate the ``q``-quantile from cumulative ``(le, count)`` pairs.
 
     The standard ``histogram_quantile`` estimator: find the bucket the
     target rank falls in and interpolate linearly inside it.  Ranks
     landing in the ``+Inf`` overflow return the largest finite bound
-    (there is no upper edge to interpolate toward).  Returns ``None``
-    for an empty histogram.
+    (there is no upper edge to interpolate toward).
+
+    A histogram with **zero observations** (no buckets at all, or every
+    cumulative count 0) has no quantiles; the defined result is ``0.0``
+    — never an interpolation artefact — so unconditioned arithmetic on
+    the return value stays finite.  Displays that want to distinguish
+    "no data yet" from a genuine 0 must check the observation count
+    (``repro top`` renders those slots as ``-``).
     """
     if not buckets:
-        return None
+        return 0.0
     total = buckets[-1][1]
     if total <= 0:
-        return None
+        return 0.0
     target = q * total
     previous_bound = 0.0
     previous_count = 0.0

@@ -20,6 +20,12 @@ Scenario scale is controlled by ``REPRO_PERF_REFS`` /
 ``REPRO_PERF_MIX_REFS`` (read at run time so tests can shrink them);
 baselines record the scale they ran at and refuse to compare across
 scales or ``CODE_VERSION`` bumps.
+
+Every measurement also lands one row in the run ledger's ``perf_runs``
+table (:mod:`repro.obs.ledger`) — the longitudinal record the
+point-in-time ``BENCH_*.json`` files lack — and ``repro perf history``
+(:func:`history`) renders the trajectory with regression flags against
+the committed baseline.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..sim.runner import CODE_VERSION, run_workload
+from . import ledger as run_ledger
 
 #: Default directory holding committed baselines.
 DEFAULT_BASELINE_DIR = Path("benchmarks") / "baselines"
@@ -185,9 +192,12 @@ def record(names: Optional[Sequence[str]] = None,
     written: List[Path] = []
     for name in chosen:
         scenario = SCENARIOS[name]
-        counters, wall_s, error = _measure(scenario, repeat)
+        with run_ledger.ledger_origin("perf"):
+            counters, wall_s, error = _measure(scenario, repeat)
         if error is not None:
             raise RuntimeError(f"{name}: {error}")
+        run_ledger.record_perf(name, "record", wall_s, counters,
+                               CODE_VERSION, _scale_stamp())
         baseline = {
             "name": name,
             "description": scenario.description,
@@ -245,7 +255,10 @@ def check(names: Optional[Sequence[str]] = None,
                 f"re-record"))
             continue
         scenario = SCENARIOS[name]
-        counters, wall_s, error = _measure(scenario, repeat)
+        with run_ledger.ledger_origin("perf"):
+            counters, wall_s, error = _measure(scenario, repeat)
+        run_ledger.record_perf(name, "check", wall_s, counters,
+                               CODE_VERSION, _scale_stamp())
         if error is not None:
             findings.append(PerfFinding(name, "counter", error))
         expected = baseline.get("counters", {})
@@ -283,3 +296,62 @@ def _resolve(names: Optional[Sequence[str]]) -> List[str]:
         raise KeyError(f"unknown perf scenario(s): {', '.join(unknown)} "
                        f"(known: {', '.join(SCENARIOS)})")
     return list(names)
+
+
+def history(name: str,
+            directory: Path = DEFAULT_BASELINE_DIR,
+            limit: Optional[int] = None) -> Dict[str, object]:
+    """One scenario's recorded trajectory + baseline comparison.
+
+    Returns ``{"scenario", "rows", "baseline", "findings"}``: ``rows``
+    are the ledger's ``perf_runs`` entries oldest-first (the last
+    ``limit`` of them), ``baseline`` is the committed ``BENCH_`` JSON
+    (or ``None``), and ``findings`` flag the **latest comparable** row
+    against the baseline — stale code version/scale, counter drift, or
+    wall time outside the baseline's tolerance.  Rendering (sparklines,
+    tables) is the CLI's job.
+    """
+    _resolve([name])
+    rows = run_ledger.get_ledger().perf_history(name, limit=limit)
+    baseline: Optional[Dict[str, object]] = None
+    path = baseline_path(Path(directory), name)
+    if path.exists():
+        with path.open() as stream:
+            baseline = json.load(stream)
+    findings: List[PerfFinding] = []
+    if rows and baseline is not None:
+        latest = rows[-1]
+        if latest["code_version"] != baseline.get("code_version"):
+            findings.append(PerfFinding(
+                name, "stale",
+                f"latest run recorded at CODE_VERSION "
+                f"{latest['code_version']} but the baseline is at "
+                f"{baseline.get('code_version')}"))
+        elif latest["scale"] != baseline.get("scale"):
+            findings.append(PerfFinding(
+                name, "stale",
+                f"latest run scale {latest['scale']} differs from the "
+                f"baseline scale {baseline.get('scale')}"))
+        else:
+            expected = baseline.get("counters", {})
+            got_counters = latest["counters"]
+            for key in sorted(set(expected) | set(got_counters)):
+                want = expected.get(key)
+                got = got_counters.get(key)
+                if want != got:
+                    findings.append(PerfFinding(
+                        name, "counter",
+                        f"{key}: baseline {want} vs latest {got}"))
+            tolerance = baseline.get("wall_tolerance",
+                                     DEFAULT_WALL_TOLERANCE)
+            base_wall = baseline.get("wall_s", 0.0)
+            if base_wall > 0:
+                drift = (latest["wall_s"] - base_wall) / base_wall
+                if abs(drift) > tolerance:
+                    findings.append(PerfFinding(
+                        name, "wall",
+                        f"latest wall {latest['wall_s']:.3f}s vs baseline "
+                        f"{base_wall:.3f}s ({drift * 100.0:+.1f}%, "
+                        f"tolerance ±{tolerance * 100.0:.0f}%)"))
+    return {"scenario": name, "rows": rows, "baseline": baseline,
+            "findings": findings}

@@ -1,0 +1,296 @@
+"""Self-contained HTML report over the run ledger: ``repro report``.
+
+:func:`build_report` turns the ledger (:mod:`repro.obs.ledger`) into a
+single HTML page — summary tiles, the recent-run table, per-design and
+per-workload breakdowns, perf wall-time trend charts, and the latest
+validate snapshot — with **zero external requests**: all CSS is one
+inline ``<style>`` block, every chart is inline SVG, and there is no
+JavaScript at all (hover detail rides on native SVG ``<title>``
+tooltips).  The page can be opened from a CI artifact tarball or
+e-mailed as-is.
+
+Number formatting reuses :func:`repro.obs.render.format_number` so the
+page agrees with the terminal reports; everything user-sourced passes
+through :func:`html.escape`.
+"""
+
+from __future__ import annotations
+
+import html
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .ledger import RunLedger, get_ledger
+from .render import format_number
+
+#: How many ledger rows the recent-runs table shows by default.
+DEFAULT_RUN_LIMIT = 50
+
+# One restrained inline stylesheet: neutral grays for chrome, a single
+# accent hue for data marks (single-series trends need no categorical
+# palette), status colors reserved for pass/fail badges.
+_CSS = """
+:root {
+  --ink: #1a1d21; --ink-2: #55606b; --ink-3: #8a94a0;
+  --line: #e3e7eb; --surface: #ffffff; --surface-2: #f6f8fa;
+  --accent: #2563a8; --good: #1a7f37; --bad: #b42318;
+}
+* { box-sizing: border-box; }
+body { margin: 2rem auto; max-width: 70rem; padding: 0 1rem;
+       font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+       color: var(--ink); background: var(--surface); }
+h1 { font-size: 1.4rem; margin-bottom: .25rem; }
+h2 { font-size: 1.05rem; margin: 2rem 0 .5rem; }
+.sub { color: var(--ink-2); margin-top: 0; }
+.tiles { display: flex; flex-wrap: wrap; gap: .75rem; margin: 1rem 0; }
+.tile { background: var(--surface-2); border: 1px solid var(--line);
+        border-radius: 8px; padding: .6rem 1rem; min-width: 8rem; }
+.tile .v { font-size: 1.3rem; font-weight: 600; }
+.tile .k { color: var(--ink-2); font-size: .8rem; }
+table { border-collapse: collapse; width: 100%; margin: .5rem 0; }
+th, td { text-align: right; padding: .3rem .6rem;
+         border-bottom: 1px solid var(--line); white-space: nowrap; }
+th { color: var(--ink-2); font-weight: 600; font-size: .8rem;
+     text-transform: uppercase; letter-spacing: .03em; }
+th:first-child, td:first-child { text-align: left; }
+td.mono { font-family: ui-monospace, monospace; font-size: .85em; }
+.badge { display: inline-block; border-radius: 999px; padding: 0 .55em;
+         font-size: .8rem; font-weight: 600; }
+.badge.ok { color: var(--good); background: #e6f4ea; }
+.badge.fail { color: var(--bad); background: #fbeae8; }
+.badge.hit { color: var(--ink-2); background: var(--surface-2); }
+.badge.fresh { color: var(--accent); background: #e8f0f9; }
+figure { margin: 1rem 0; }
+figcaption { color: var(--ink-2); font-size: .85rem; margin-bottom: .25rem; }
+svg text { font: 11px system-ui, sans-serif; fill: var(--ink-3); }
+.note { color: var(--ink-3); font-size: .85rem; }
+footer { margin-top: 3rem; color: var(--ink-3); font-size: .8rem;
+         border-top: 1px solid var(--line); padding-top: .75rem; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: Optional[float], digits: Optional[int] = None) -> str:
+    if value is None:
+        return "-"
+    if digits is not None:
+        return f"{value:.{digits}f}"
+    return format_number(float(value))
+
+
+def _stamp(ts: Optional[float]) -> str:
+    if ts is None:
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(ts))
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+           raw: bool = False) -> str:
+    """An HTML table; cells are escaped unless ``raw`` (pre-built HTML)."""
+    cell = (lambda c: c) if raw else _esc
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{cell(c)}</td>" for c in row) + "</tr>"
+        for row in rows)
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def _trend_svg(points: Sequence[Dict[str, object]],
+               baseline_wall: Optional[float]) -> str:
+    """One inline SVG wall-time trend: accent line + dashed baseline.
+
+    Each marker carries a native ``<title>`` tooltip (timestamp, wall,
+    mode) so the chart is inspectable without any script.
+    """
+    width, height, pad = 640, 120, 8
+    walls = [float(p["wall_s"]) for p in points]
+    bounds = walls + ([baseline_wall] if baseline_wall else [])
+    low, high = min(bounds), max(bounds)
+    if high <= low:
+        low, high = low - 0.5 * abs(low) - 1e-9, high + 0.5 * abs(high) + 1e-9
+    span_x = width - 2 * pad
+    span_y = height - 2 * pad
+
+    def x_at(i: int) -> float:
+        return pad + (span_x * i / max(1, len(points) - 1))
+
+    def y_at(wall: float) -> float:
+        return pad + span_y * (1.0 - (wall - low) / (high - low))
+
+    parts: List[str] = [
+        f'<svg viewBox="0 0 {width} {height}" width="100%" height="{height}" '
+        f'role="img" preserveAspectRatio="none">']
+    for frac in (0.0, 0.5, 1.0):  # recessive horizontal grid
+        y = pad + span_y * frac
+        parts.append(f'<line x1="{pad}" y1="{y:.1f}" x2="{width - pad}" '
+                     f'y2="{y:.1f}" stroke="#e3e7eb" stroke-width="1"/>')
+    if baseline_wall is not None:
+        y = y_at(baseline_wall)
+        parts.append(
+            f'<line x1="{pad}" y1="{y:.1f}" x2="{width - pad}" y2="{y:.1f}" '
+            f'stroke="#8a94a0" stroke-width="1" stroke-dasharray="4 3">'
+            f'<title>committed baseline: {baseline_wall:.3f}s</title></line>')
+    if len(points) > 1:
+        path = " ".join(f"{x_at(i):.1f},{y_at(w):.1f}"
+                        for i, w in enumerate(walls))
+        parts.append(f'<polyline points="{path}" fill="none" '
+                     f'stroke="#2563a8" stroke-width="2"/>')
+    for i, point in enumerate(points):
+        tip = (f"{_stamp(point.get('ts'))} — {walls[i]:.3f}s "
+               f"({_esc(point.get('mode', '?'))})")
+        parts.append(
+            f'<circle cx="{x_at(i):.1f}" cy="{y_at(walls[i]):.1f}" r="4" '
+            f'fill="#2563a8" stroke="#ffffff" stroke-width="2">'
+            f'<title>{tip}</title></circle>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _tiles(stats: Dict[str, object],
+           runs: List[Dict[str, object]]) -> str:
+    fresh = sum(1 for r in runs if not r["cache_hit"])
+    fresh_wall = sum(float(r["wall_s"]) for r in runs if not r["cache_hit"])
+    tiles = [
+        ("recorded runs", format_number(float(stats.get("runs", 0)))),
+        ("fresh simulations (shown)", format_number(float(fresh))),
+        ("fresh wall time (shown)", f"{fresh_wall:.1f}s"),
+        ("perf measurements", format_number(float(stats.get("perf_runs",
+                                                            0)))),
+        ("validate runs", format_number(float(stats.get("validate_runs",
+                                                        0)))),
+    ]
+    body = "".join(
+        f'<div class="tile"><div class="v">{_esc(v)}</div>'
+        f'<div class="k">{_esc(k)}</div></div>' for k, v in tiles)
+    return f'<div class="tiles">{body}</div>'
+
+
+def _runs_section(runs: List[Dict[str, object]], limit: int) -> str:
+    rows = []
+    for r in runs[:limit]:
+        origin = _esc(r["origin"])
+        source = ('<span class="badge hit">cache</span>' if r["cache_hit"]
+                  else '<span class="badge fresh">fresh</span>')
+        rows.append([
+            _esc(_stamp(r["ts"])), _esc(r["workload"]), _esc(r["design"]),
+            _esc(format_number(float(r["refs"]))), origin, source,
+            _fmt(r["ipc"], 3),
+            _fmt(r["row_buffer_hit_rate"], 3), _fmt(r["fast_hit_rate"], 3),
+            _esc(_fmt(r["promotions"])), f'{float(r["wall_s"]):.3f}s',
+            f'<span class="mono">{_esc(r["trace_id"])}</span>',
+        ])
+    table = _table(
+        ["when", "workload", "design", "refs", "origin", "source", "ipc",
+         "rb hit", "fast hit", "promos", "wall", "trace"],
+        rows, raw=True)
+    note = ""
+    if len(runs) > limit:
+        note = (f'<p class="note">showing the {limit} most recent of '
+                f'{len(runs)} rows — query the rest with '
+                f'<code>repro ledger query</code>.</p>')
+    return table + note
+
+
+def _breakdown_section(groups: List[Dict[str, object]]) -> str:
+    rows = [[_esc(g["name"]), _esc(format_number(float(g["runs"]))),
+             _esc(format_number(float(g["fresh"] or 0))),
+             f'{float(g["fresh_wall_s"] or 0.0):.1f}s',
+             _fmt(g["mean_ipc"], 3), _fmt(g["mean_mpki"], 2)]
+            for g in groups]
+    return _table(["", "runs", "fresh", "fresh wall", "mean ipc",
+                   "mean mpki"], rows, raw=True)
+
+
+def _perf_section(ledger: RunLedger,
+                  baselines: Dict[str, Dict[str, object]]) -> str:
+    parts: List[str] = []
+    scenarios = sorted({row["scenario"]
+                        for row in ledger.perf_history()})
+    if not scenarios:
+        return '<p class="note">no perf measurements recorded yet — ' \
+               'run <code>repro perf record</code>.</p>'
+    for name in scenarios:
+        rows = ledger.perf_history(name)
+        baseline = baselines.get(name, {})
+        base_wall = baseline.get("wall_s")
+        figure = _trend_svg(rows, base_wall)
+        table_rows = [[_esc(_stamp(r["ts"])), _esc(r["mode"]),
+                       f'{float(r["wall_s"]):.3f}s',
+                       _esc(format_number(float(r["code_version"])))]
+                      for r in rows[-10:]]
+        parts.append(
+            f"<figure><figcaption>{_esc(name)} — wall time across "
+            f"{len(rows)} measurement(s)"
+            + (f", baseline {float(base_wall):.3f}s (dashed)"
+               if base_wall else "")
+            + f"</figcaption>{figure}</figure>"
+            + _table(["when", "mode", "wall", "code"], table_rows, raw=True))
+    return "".join(parts)
+
+
+def _validate_section(latest: Optional[Dict[str, object]]) -> str:
+    if latest is None:
+        return '<p class="note">no validate runs recorded yet — run ' \
+               '<code>repro validate</code>.</p>'
+    badge = ('<span class="badge ok">PASS</span>' if latest["ok"]
+             else '<span class="badge fail">FAIL</span>')
+    row = [[_esc(_stamp(latest["ts"])), _esc(latest["scale"]),
+            _esc(latest["source"]), badge,
+            _esc(format_number(float(latest["passed"]))),
+            _esc(format_number(float(latest["failed"]))),
+            _esc(format_number(float(latest["skipped"]))),
+            _esc(format_number(float(latest["errors"])))]]
+    return _table(["when", "scale", "source", "result", "pass", "fail",
+                   "skip", "error"], row, raw=True)
+
+
+def build_report(ledger: Optional[RunLedger] = None,
+                 limit: int = DEFAULT_RUN_LIMIT,
+                 baselines: Optional[Dict[str, Dict[str, object]]] = None,
+                 now: Optional[float] = None) -> str:
+    """The full report page as one HTML string (no I/O besides SQLite)."""
+    ledger = ledger if ledger is not None else get_ledger()
+    baselines = baselines if baselines is not None else {}
+    stats = ledger.stats()
+    runs = ledger.runs()
+    generated = _stamp(now if now is not None else time.time())
+    sections = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        '<meta name="viewport" content="width=device-width, initial-scale=1">',
+        "<title>repro run report</title>",
+        f"<style>{_CSS}</style></head><body>",
+        "<h1>repro run report</h1>",
+        f'<p class="sub">generated {_esc(generated)} from '
+        f'<code>{_esc(stats.get("path", "?"))}</code></p>',
+        _tiles(stats, runs),
+        "<h2>Recent runs</h2>", _runs_section(runs, limit),
+        "<h2>By design</h2>", _breakdown_section(ledger.breakdown("design")),
+        "<h2>By workload</h2>",
+        _breakdown_section(ledger.breakdown("workload")),
+        "<h2>By origin</h2>", _breakdown_section(ledger.breakdown("origin")),
+        "<h2>Perf trajectories</h2>", _perf_section(ledger, baselines),
+        "<h2>Latest validation</h2>",
+        _validate_section(ledger.latest_validate()),
+        "<footer>self-contained report — inline CSS and SVG only, no "
+        "scripts, no external requests.</footer>",
+        "</body></html>",
+    ]
+    return "\n".join(sections)
+
+
+def write_report(path: Path,
+                 ledger: Optional[RunLedger] = None,
+                 limit: int = DEFAULT_RUN_LIMIT,
+                 baselines: Optional[Dict[str, Dict[str, object]]] = None
+                 ) -> Path:
+    """Render :func:`build_report` to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(build_report(ledger, limit=limit, baselines=baselines),
+                    encoding="utf-8")
+    return path

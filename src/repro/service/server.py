@@ -36,7 +36,6 @@ import json
 import os
 import sys
 import time
-import uuid
 from dataclasses import dataclass, field
 from itertools import count
 from pathlib import Path
@@ -44,17 +43,13 @@ from typing import Awaitable, Callable, Dict, List, Optional, Set, Tuple
 
 from ..common.statistics import StatGroup
 from ..exec.plan import RunSpec
+from ..obs.ledger import new_trace_id
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import EXEC_TID, EventTracer
 from . import protocol
 from .protocol import ProtocolError
 from .queue import DONE, FAILED, Job, JobQueue
 from .store import ResultStore, get_store
-
-
-def new_trace_id() -> str:
-    """A fresh job correlation id (short, log- and label-friendly)."""
-    return "t" + uuid.uuid4().hex[:12]
 
 #: StreamReader line limit for worker pipes and client sockets (8 MiB).
 #: A ``result`` frame carries a full metrics dict (stats tree +

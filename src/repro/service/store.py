@@ -47,6 +47,29 @@ def store_root() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
 
 
+@dataclass(frozen=True)
+class Eviction:
+    """One :meth:`ResultStore.gc` decision: which entry went, and why.
+
+    ``reason`` is ``"age"`` (older than the ``max_age_s`` bound) or
+    ``"lru"`` (least-recently-used entry dropped to fit ``max_bytes``);
+    ``detail`` is the human-readable justification ``repro cache gc``
+    prints next to each key.
+    """
+
+    key: str
+    reason: str  # "age" | "lru"
+    detail: str
+
+    def to_dict(self) -> Dict[str, str]:
+        """Plain-dict form for ``repro cache gc --json``."""
+        return {"key": self.key, "reason": self.reason,
+                "detail": self.detail}
+
+    def __str__(self) -> str:
+        return f"{self.key} ({self.reason}: {self.detail})"
+
+
 @dataclass
 class StoreEntry:
     """Index record for one stored result."""
@@ -291,26 +314,33 @@ class ResultStore:
         max_age_s: Optional[float] = None,
         now: Optional[float] = None,
         dry_run: bool = False,
-    ) -> List[str]:
-        """Evict entries by age then LRU size cap; returns evicted keys.
+    ) -> List[Eviction]:
+        """Evict entries by age then LRU size cap.
 
         ``max_age_s`` drops every entry older than that; ``max_bytes``
         then evicts least-recently-used entries until the remainder
         fits.  Either bound may be ``None`` (not enforced).  ``now``
         pins the clock for deterministic tests.  ``dry_run`` returns
-        the keys the same bounds *would* evict without unlinking
-        anything or touching the index and counters.
+        the same decisions without unlinking anything or touching the
+        index and counters.
+
+        Returns one :class:`Eviction` per dropped entry, in eviction
+        order, each carrying *why* it went (``age`` vs ``lru``
+        pressure) so ``repro cache gc`` can report the cause per key.
         """
         self.scan()
         if now is None:
             now = time.time()
-        evicted: List[str] = []
+        evicted: List[Eviction] = []
         survivors = self.entries(rescan=False)
         if max_age_s is not None:
             fresh = []
             for entry in survivors:
-                if now - entry.mtime > max_age_s:
-                    self._evict(entry, evicted, dry_run)
+                age_s = now - entry.mtime
+                if age_s > max_age_s:
+                    self._evict(entry, evicted, "age",
+                                f"{age_s / 3600.0:.1f}h old, bound "
+                                f"{max_age_s / 3600.0:.1f}h", dry_run)
                 else:
                     fresh.append(entry)
             survivors = fresh
@@ -319,14 +349,17 @@ class ResultStore:
             for entry in survivors:  # LRU first (entries() sorts by mtime)
                 if remaining <= max_bytes:
                     break
-                self._evict(entry, evicted, dry_run)
+                self._evict(entry, evicted, "lru",
+                            f"least recently used while store at "
+                            f"{remaining} B over the {max_bytes} B cap",
+                            dry_run)
                 remaining -= entry.size_bytes
         return evicted
 
-    def _evict(self, entry: StoreEntry, evicted: List[str],
-               dry_run: bool = False) -> None:
+    def _evict(self, entry: StoreEntry, evicted: List[Eviction],
+               reason: str, detail: str, dry_run: bool = False) -> None:
+        evicted.append(Eviction(entry.key, reason, detail))
         if dry_run:
-            evicted.append(entry.key)
             return
         try:
             os.unlink(self.path_for(entry.key))
@@ -334,7 +367,6 @@ class ResultStore:
             pass  # concurrently removed: eviction goal already met
         self._index.pop(entry.key, None)
         self.evictions += 1
-        evicted.append(entry.key)
 
 
 # ----------------------------------------------------------------------

@@ -109,27 +109,67 @@ class TopSnapshot:
         self.store_answered = _by_label(
             families, "repro_jobs_store_answered_total", "kind")
 
-    def latency_rows(self) -> List[List[str]]:
-        """One row per latency histogram: count plus p50/p90/p99."""
-        rows = []
-        for name, label in (
-            ("repro_queue_wait_seconds", "queue wait"),
-            ("repro_job_run_seconds", "run"),
-            ("repro_job_e2e_seconds", "end-to-end"),
-        ):
+    _LATENCY_FAMILIES = (
+        ("repro_queue_wait_seconds", "queue wait"),
+        ("repro_job_run_seconds", "run"),
+        ("repro_job_e2e_seconds", "end-to-end"),
+    )
+
+    def latency_quantiles(self) -> List[Dict[str, object]]:
+        """Per-histogram count + quantile seconds (numbers, not text).
+
+        A histogram with zero observations reports ``None`` for every
+        quantile — there is no latency to summarise yet, and the
+        dashboard renders the slot as ``-`` rather than a made-up 0.
+        """
+        out = []
+        for name, label in self._LATENCY_FAMILIES:
             sample = _histogram_sample(self.families, name)
             if sample is None:
                 continue
             buckets = _parse_buckets(sample)
             count = int(sample.get("count", 0))
-            cells = [label, str(count)]
+            quantiles: Dict[str, Optional[float]] = {}
             for q in QUANTILES:
                 value = quantile_from_buckets(buckets, q)
+                quantiles[f"p{int(q * 100)}"] = (None if count == 0
+                                                 else value)
+            out.append({"name": name, "label": label, "count": count,
+                        **quantiles})
+        return out
+
+    def latency_rows(self) -> List[List[str]]:
+        """One row per latency histogram: count plus p50/p90/p99."""
+        rows = []
+        for entry in self.latency_quantiles():
+            cells = [str(entry["label"]), str(entry["count"])]
+            for q in QUANTILES:
+                value = entry[f"p{int(q * 100)}"]
                 cells.append("-" if value is None
                              else f"{value * 1000:.0f}ms" if value < 1
                              else f"{value:.1f}s")
             rows.append(cells)
         return rows
+
+    def to_dict(self) -> Dict[str, object]:
+        """The machine-readable frame ``repro top --json`` emits."""
+        return {
+            "queue": {"queued": int(self.queued),
+                      "draining": self.draining},
+            "workers": {"running": int(self.running),
+                        "slots": int(self.slots)},
+            "store": {"entries": int(self.store_entries),
+                      "total_bytes": int(self.store_bytes),
+                      "hit_rate": self.hit_rate},
+            "clients": int(self.clients),
+            "uptime_s": self.uptime_s,
+            "jobs": {"created": self.created,
+                     "coalesced": self.coalesced,
+                     "store_answered": self.store_answered,
+                     "completed": self.completed,
+                     "failed": self.failed},
+            "latency": self.latency_quantiles(),
+        }
 
 
 class TopDashboard:
@@ -186,13 +226,18 @@ class TopDashboard:
 
 def run_top(host: str, port: int, interval_s: float = 2.0,
             iterations: Optional[int] = None, clear: bool = True,
-            echo=print) -> int:
+            as_json: bool = False, echo=print) -> int:
     """The ``repro top`` loop: poll, render, repaint until interrupted.
 
     ``iterations`` bounds the number of polls (``--once`` passes 1;
-    tests pass small numbers); ``None`` runs until Ctrl-C.  Returns a
-    process exit code.
+    tests pass small numbers); ``None`` runs until Ctrl-C.  ``as_json``
+    emits each poll as one machine-readable JSON object (see
+    :meth:`TopSnapshot.to_dict`) instead of the human screen — ``repro
+    top --once --json`` is the scriptable snapshot.  Returns a process
+    exit code.
     """
+    import json as json_module
+
     dashboard = TopDashboard()
     polls = 0
     try:
@@ -205,8 +250,11 @@ def run_top(host: str, port: int, interval_s: float = 2.0,
                 echo(f"repro top: {error}")
                 return 1
             snap = TopSnapshot(status, families)  # type: ignore[arg-type]
-            screen = dashboard.render(snap, host, port)
-            echo((CLEAR if clear else "") + screen)
+            if as_json:
+                echo(json_module.dumps(snap.to_dict(), indent=2))
+            else:
+                screen = dashboard.render(snap, host, port)
+                echo((CLEAR if clear else "") + screen)
             polls += 1
             if iterations is not None and polls >= iterations:
                 break

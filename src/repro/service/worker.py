@@ -21,7 +21,10 @@ correlatable with the server log and client frames for the same job):
 The worker writes its result through the shared
 :class:`repro.service.store.ResultStore` *before* emitting
 ``worker_result``, so by the time the server broadcasts completion the
-result is durable and any later identical request is a store hit.
+result is durable and any later identical request is a store hit.  It
+also lands one ``origin="service"`` row (carrying the job's trace id)
+in the run ledger (:mod:`repro.obs.ledger`) so service work shows up in
+``repro ledger`` / ``repro report`` alongside CLI runs.
 
 A subprocess (rather than a ``ProcessPoolExecutor`` task) is what gives
 the server three things the offline pool cannot: a live per-job event
@@ -39,6 +42,7 @@ import time
 import traceback
 from typing import Callable, Dict, TextIO
 
+from ..obs import ledger
 from ..sim.runner import (
     default_timeline_interval,
     fresh_run,
@@ -72,6 +76,10 @@ def run_job(payload: Dict[str, object], emit: Emit) -> int:
     if use_store:
         cached = store.load(key)
         if cached is not None:
+            ledger.record_run(cached, key, cache_hit=True,
+                              wall_s=time.monotonic() - started,
+                              seed=spec.seed, origin="service",
+                              trace_id=trace_id or None)
             emit({"event": "worker_result", "key": key, "trace": trace_id,
                   "metrics": cached.to_dict(), "from_store": True,
                   "wall_s": time.monotonic() - started})
@@ -105,6 +113,10 @@ def run_job(payload: Dict[str, object], emit: Emit) -> int:
         return 1
     if use_store:
         store.store(key, metrics)
+    ledger.record_run(metrics, key, cache_hit=False,
+                      wall_s=time.monotonic() - started,
+                      seed=spec.seed, origin="service",
+                      trace_id=trace_id or None)
     emit({"event": "worker_result", "key": key, "trace": trace_id,
           "metrics": metrics.to_dict(), "from_store": False,
           "wall_s": time.monotonic() - started})

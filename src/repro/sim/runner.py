@@ -12,6 +12,7 @@ server (``repro serve``) answer completed work without re-simulating.
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -204,15 +205,29 @@ def run_workload(
     either way).  Pass False only to measure the sampling overhead
     itself (see ``benchmarks/bench_exec.py``) — a result computed with
     ``timeline=False`` stores an empty series under the same cache key.
+
+    Every completed call — cache hit or fresh — lands one row in the
+    run ledger (:mod:`repro.obs.ledger`), so the CLI, the offline pool's
+    worker subprocesses, ``repro perf`` and ``repro validate`` all build
+    history with no wiring of their own.  ``REPRO_NO_LEDGER=1`` reduces
+    that to a single environment lookup.
     """
+    from ..obs import ledger
+
     num_cores, references = resolve_run_shape(workload, references)
     config = make_config(design, num_cores=num_cores, seed=seed, asym=asym,
                          controller=controller)
     key = (f"v{CODE_VERSION}-{workload}-{references}-"
            f"{config.cache_key()}")
+    record = ledger.ledger_enabled()
+    started = time.monotonic() if record else 0.0
     if use_cache:
         cached = _load_cached(key)
         if cached is not None:
+            if record:
+                ledger.record_run(cached, key, cache_hit=True,
+                                  wall_s=time.monotonic() - started,
+                                  seed=seed)
             return cached
     interval = (default_timeline_interval(references, num_cores)
                 if timeline else None)
@@ -220,6 +235,9 @@ def run_workload(
                         timeline_interval=interval)
     if use_cache:
         _store_cached(key, metrics)
+    if record:
+        ledger.record_run(metrics, key, cache_hit=False,
+                          wall_s=time.monotonic() - started, seed=seed)
     return metrics
 
 

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..experiments.report import ExperimentResult
+from ..obs import ledger as run_ledger
 from ..obs.render import aligned_table
 from .checks import CheckError, evaluate
 from .ledger import Expectation, Ledger
@@ -296,8 +297,11 @@ def validate(
             needed = list(experiment_ids())
         else:
             needed = _needed_experiments(in_scale)
-        results = collect_results(needed, SCALES[scale],
-                                  use_cache=use_cache, jobs=jobs)
+        # Every simulation the run needs lands in the run ledger with
+        # origin "validate" (the runner facade records; this scopes it).
+        with run_ledger.ledger_origin("validate"):
+            results = collect_results(needed, SCALES[scale],
+                                      use_cache=use_cache, jobs=jobs)
         if snapshot_out is not None:
             save_snapshot(results, scale, snapshot_out)
     report = evaluate_expectations(in_scale, results, scale)
@@ -309,4 +313,9 @@ def validate(
     order = {expectation.id: i
              for i, expectation in enumerate(ledger.expectations)}
     report.claims.sort(key=lambda claim: order.get(claim.id, len(order)))
+    from ..sim.runner import CODE_VERSION
+
+    run_ledger.record_validate(
+        scale, report.ok, report.counts, CODE_VERSION,
+        "snapshot" if snapshot is not None else "simulated")
     return report

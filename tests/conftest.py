@@ -14,6 +14,19 @@ from repro.common.config import (
 from repro.common.rng import make_rng
 
 
+@pytest.fixture(autouse=True)
+def _no_run_ledger(monkeypatch):
+    """Keep the suite hermetic: no ledger.db writes unless a test opts in.
+
+    Many tests simulate through :func:`repro.sim.runner.run_workload`
+    without isolating ``REPRO_CACHE_DIR``; with the run ledger enabled
+    each of those would append to ``.repro_cache/ledger.db`` in the
+    checkout.  Ledger tests re-enable recording explicitly (and point
+    ``REPRO_CACHE_DIR`` at a tmp path first).
+    """
+    monkeypatch.setenv("REPRO_NO_LEDGER", "1")
+
+
 @pytest.fixture
 def rng():
     """A deterministic RNG for tests."""

@@ -1,0 +1,529 @@
+"""Tests for the durable run ledger (:mod:`repro.obs.ledger`).
+
+Covers the recording choke points (runner facade, service worker, perf,
+validate), the query/prune API, the ``repro ledger`` / ``repro perf
+history`` / ``repro report`` CLI surface, and the two reliability
+properties the design leans on: concurrent writers both land rows (WAL
++ busy timeout) and a corrupt/missing database is rebuilt without
+failing the simulation it was recording.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import sqlite3
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs import ledger as ledger_mod
+from repro.obs.ledger import (
+    RunLedger,
+    get_ledger,
+    ledger_enabled,
+    ledger_origin,
+    ledger_path,
+    new_trace_id,
+    record_run,
+)
+from repro.sim.runner import run_workload
+
+REFS = 1200
+
+
+@pytest.fixture(autouse=True)
+def _ledger_on(monkeypatch, tmp_path):
+    """Enable recording against a throwaway store for every test here."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_NO_LEDGER", raising=False)
+    monkeypatch.delenv("REPRO_LEDGER_ORIGIN", raising=False)
+    return tmp_path
+
+
+# ----------------------------------------------------------------------
+# Recording through the runner facade
+# ----------------------------------------------------------------------
+
+class TestRunnerChokePoint:
+    def test_fresh_and_cached_runs_both_land_rows(self):
+        metrics = run_workload("libquantum", "das", references=REFS)
+        run_workload("libquantum", "das", references=REFS)  # cache hit
+        rows = get_ledger().runs()
+        assert len(rows) == 2
+        newest, oldest = rows  # newest first
+        assert oldest["cache_hit"] == 0 and newest["cache_hit"] == 1
+        for row in rows:
+            assert row["workload"] == "libquantum"
+            assert row["design"] == "das"
+            assert row["origin"] == "run"
+            # refs records the *measured* references (post-warmup).
+            assert row["refs"] == metrics.references
+            assert row["trace_id"].startswith("t")
+            assert row["spec_key"].startswith("v")
+            assert row["ipc"] > 0
+            assert 0.0 <= row["row_buffer_hit_rate"] <= 1.0
+            assert row["wall_s"] >= 0.0
+        # The fresh run took real time; the recall is much cheaper.
+        assert oldest["wall_s"] > newest["wall_s"]
+
+    def test_disabled_records_nothing_and_creates_no_db(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_LEDGER", "1")
+        assert not ledger_enabled()
+        run_workload("libquantum", "das", references=REFS)
+        assert not ledger_path().exists()
+
+    def test_no_cache_runs_still_record(self):
+        # perf scenarios run with use_cache=False; they must still show
+        # up in history.
+        run_workload("libquantum", "das", references=REFS,
+                     use_cache=False)
+        rows = get_ledger().runs()
+        assert len(rows) == 1
+        assert rows[0]["cache_hit"] == 0
+
+    def test_origin_scope_is_inherited_by_the_recorder(self):
+        with ledger_origin("validate"):
+            run_workload("libquantum", "das", references=REFS)
+        run_workload("mcf", "das", references=REFS)
+        origins = {row["workload"]: row["origin"]
+                   for row in get_ledger().runs()}
+        assert origins == {"libquantum": "validate", "mcf": "run"}
+
+    def test_origin_scope_restores_previous_value(self, monkeypatch):
+        monkeypatch.setenv(ledger_mod.ORIGIN_ENV, "perf")
+        with ledger_origin("validate"):
+            assert ledger_mod.current_origin() == "validate"
+        assert ledger_mod.current_origin() == "perf"
+        monkeypatch.delenv(ledger_mod.ORIGIN_ENV)
+        with ledger_origin("service"):
+            pass
+        assert ledger_mod.current_origin() == "run"
+
+
+# ----------------------------------------------------------------------
+# Query API
+# ----------------------------------------------------------------------
+
+def _seed_rows(ledger: RunLedger, n: int = 4) -> float:
+    """Insert ``n`` rows stamped 1s apart; returns the oldest stamp."""
+    base = time.time() - 1000.0
+    for i in range(n):
+        ledger.record_run(
+            ts=base + i, spec_key=f"v10-k{i}",
+            workload="mcf" if i % 2 else "libquantum",
+            design="das" if i % 2 else "standard",
+            refs=1000 + i, num_cores=1, seed=1, code_version=10,
+            origin="service" if i == 3 else "run",
+            trace_id=new_trace_id(), cache_hit=i % 2, wall_s=0.1 * (i + 1),
+            ipc=1.0 + i, row_buffer_hit_rate=0.5, fast_hit_rate=0.25,
+            promotions=i, mpki=2.0, mean_read_latency_ns=40.0)
+    return base
+
+
+class TestQueries:
+    def test_filters_compose(self):
+        ledger = get_ledger()
+        base = _seed_rows(ledger)
+        assert len(ledger.runs()) == 4
+        assert len(ledger.runs(workload="mcf")) == 2
+        assert len(ledger.runs(design="standard")) == 2
+        assert len(ledger.runs(origin="service")) == 1
+        assert len(ledger.runs(workload="mcf", design="das",
+                               origin="service")) == 1
+        assert len(ledger.runs(limit=2)) == 2
+        assert len(ledger.runs(since_ts=base + 0.5)) == 3
+
+    def test_newest_first_and_run_by_id(self):
+        ledger = get_ledger()
+        _seed_rows(ledger)
+        rows = ledger.runs()
+        assert [r["refs"] for r in rows] == [1003, 1002, 1001, 1000]
+        fetched = ledger.run_by_id(rows[0]["id"])
+        assert fetched == rows[0]
+        assert ledger.run_by_id(10_000) is None
+
+    def test_breakdown_groups_and_rejects_unknown_columns(self):
+        ledger = get_ledger()
+        _seed_rows(ledger)
+        by_design = {g["name"]: g for g in ledger.breakdown("design")}
+        assert set(by_design) == {"das", "standard"}
+        assert by_design["das"]["runs"] == 2
+        assert by_design["standard"]["fresh"] == 2
+        with pytest.raises(ValueError):
+            ledger.breakdown("trace_id")
+
+    def test_stats_counts_every_table(self):
+        ledger = get_ledger()
+        _seed_rows(ledger, n=2)
+        ledger.record_perf("single_das", "record", 1.5, {"refs": 1},
+                           10, {"refs": 6000, "mix_refs": 2500})
+        ledger.record_validate("ci", True,
+                               {"pass": 3, "fail": 0, "skip": 1,
+                                "error": 0}, 10, "simulated")
+        stats = ledger.stats()
+        assert stats["runs"] == 2
+        assert stats["perf_runs"] == 1
+        assert stats["validate_runs"] == 1
+        assert stats["first_ts"] < stats["last_ts"]
+
+    def test_perf_history_is_chronological_and_decoded(self):
+        ledger = get_ledger()
+        now = time.time()
+        for i in range(3):
+            ledger.record_perf("single_das", "check", 1.0 + i,
+                               {"instructions": 100 + i}, 10,
+                               {"refs": 6000, "mix_refs": 2500},
+                               ts=now + i)
+        rows = ledger.perf_history("single_das")
+        assert [r["wall_s"] for r in rows] == [1.0, 2.0, 3.0]
+        assert rows[0]["counters"] == {"instructions": 100}
+        assert rows[0]["scale"] == {"refs": 6000, "mix_refs": 2500}
+        # limit keeps the most recent N, still oldest-first.
+        assert [r["wall_s"]
+                for r in ledger.perf_history("single_das", limit=2)] \
+            == [2.0, 3.0]
+
+    def test_latest_validate(self):
+        ledger = get_ledger()
+        assert ledger.latest_validate() is None
+        now = time.time()
+        ledger.record_validate("ci", False, {"pass": 1, "fail": 2,
+                                             "skip": 0, "error": 0},
+                               10, "simulated", ts=now - 10)
+        ledger.record_validate("full", True, {"pass": 9, "fail": 0,
+                                              "skip": 0, "error": 0},
+                               10, "snapshot", ts=now)
+        latest = ledger.latest_validate()
+        assert latest["scale"] == "full"
+        assert latest["ok"] == 1
+        assert latest["source"] == "snapshot"
+
+
+class TestPrune:
+    def test_prune_by_age_and_keep_last(self):
+        ledger = get_ledger()
+        base = _seed_rows(ledger)  # stamps base+0 .. base+3
+        result = ledger.prune(before_ts=base + 0.5)  # ages out the oldest
+        assert result == {"aged": 1, "overflow": 0, "pruned": 1}
+        assert len(ledger.runs()) == 3
+        result = ledger.prune(keep_last=1)
+        assert result["overflow"] == 2
+        remaining = ledger.runs()
+        assert len(remaining) == 1
+        assert remaining[0]["refs"] == 1003  # the newest survived
+
+    def test_dry_run_deletes_nothing(self):
+        ledger = get_ledger()
+        _seed_rows(ledger)
+        result = ledger.prune(keep_last=1, dry_run=True)
+        assert result["overflow"] == 3
+        assert len(ledger.runs()) == 4
+
+    def test_perf_and_validate_history_survive_pruning(self):
+        ledger = get_ledger()
+        _seed_rows(ledger)
+        ledger.record_perf("single_das", "record", 1.0, {}, 10, {})
+        ledger.record_validate("ci", True, {"pass": 1, "fail": 0,
+                                            "skip": 0, "error": 0},
+                               10, "simulated")
+        ledger.prune(keep_last=0)
+        stats = ledger.stats()
+        assert stats["runs"] == 0
+        assert stats["perf_runs"] == 1
+        assert stats["validate_runs"] == 1
+
+
+# ----------------------------------------------------------------------
+# Concurrency and damage tolerance (satellite: WAL + rebuild)
+# ----------------------------------------------------------------------
+
+def _hammer_rows(db_path: str, origin: str, count: int,
+                 barrier) -> None:
+    """Child-process body: insert ``count`` rows as fast as possible."""
+    ledger = RunLedger(Path(db_path))
+    barrier.wait()  # maximise overlap between the writers
+    for i in range(count):
+        row_id = ledger.record_run(
+            ts=time.time(), spec_key=f"{origin}-{i}", workload="mcf",
+            design="das", refs=100, num_cores=1, seed=1, code_version=10,
+            origin=origin, trace_id=new_trace_id(), cache_hit=0,
+            wall_s=0.01, ipc=1.0, row_buffer_hit_rate=0.5,
+            fast_hit_rate=0.2, promotions=0, mpki=1.0,
+            mean_read_latency_ns=40.0)
+        assert row_id is not None, "concurrent insert was dropped"
+
+
+def _service_job(payload, barrier) -> None:
+    """Child-process body: one real service-worker job."""
+    from repro.service.worker import run_job
+
+    barrier.wait()
+    assert run_job(payload, lambda event: None) == 0
+
+
+class TestConcurrency:
+    def test_two_processes_interleaving_inserts_all_land(self, tmp_path):
+        db_path = str(tmp_path / "store" / "ledger.db")
+        barrier = multiprocessing.Barrier(2)
+        workers = [
+            multiprocessing.Process(target=_hammer_rows,
+                                    args=(db_path, origin, 50, barrier))
+            for origin in ("run", "service")
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        rows = RunLedger(Path(db_path)).runs()
+        assert len(rows) == 100
+        by_origin = {o: sum(1 for r in rows if r["origin"] == o)
+                     for o in ("run", "service")}
+        assert by_origin == {"run": 50, "service": 50}
+
+    def test_two_service_workers_completing_simultaneously(self):
+        from repro.service import protocol
+
+        from repro.exec.plan import RunSpec
+
+        barrier = multiprocessing.Barrier(2)
+        traces = (new_trace_id(), new_trace_id())
+        payloads = [
+            {"spec": protocol.spec_to_wire(
+                RunSpec(workload, "das", REFS, 1)),
+             "timeline": False, "trace_id": trace}
+            for workload, trace in zip(("mcf", "libquantum"), traces)
+        ]
+        workers = [multiprocessing.Process(target=_service_job,
+                                           args=(payload, barrier))
+                   for payload in payloads]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+        rows = get_ledger().runs(origin="service")
+        assert len(rows) == 2
+        assert {r["trace_id"] for r in rows} == set(traces)
+        assert {r["workload"] for r in rows} == {"mcf", "libquantum"}
+
+
+class TestDamageTolerance:
+    def test_corrupt_db_is_rebuilt_without_failing_the_run(self):
+        path = ledger_path()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"this is not a sqlite database " * 40)
+        metrics = run_workload("libquantum", "das", references=REFS)
+        assert metrics.workload == "libquantum"  # the run succeeded
+        ledger = get_ledger()
+        rows = ledger.runs()
+        assert len(rows) == 1  # recorded into the rebuilt database
+        assert ledger.rebuilds >= 1
+
+    def test_missing_db_and_directory_are_created_on_demand(self,
+                                                            tmp_path):
+        ledger = RunLedger(tmp_path / "nested" / "deeper" / "ledger.db")
+        _seed_rows(ledger, n=1)
+        assert len(ledger.runs()) == 1
+        assert ledger.path.exists()
+
+    def test_corrupt_db_query_side_rebuilds_too(self, tmp_path):
+        db = tmp_path / "ledger.db"
+        ledger = RunLedger(db)
+        _seed_rows(ledger, n=2)
+        # Sever the handle, then corrupt the file behind its back.
+        ledger._conn.close()
+        ledger._conn = None
+        db.write_bytes(b"\x00" * 512)
+        assert ledger.runs() == []  # rebuilt empty, not raising
+        assert ledger.rebuilds == 1
+        _seed_rows(ledger, n=1)
+        assert len(ledger.runs()) == 1
+
+    def test_wal_mode_is_active(self):
+        ledger = get_ledger()
+        _seed_rows(ledger, n=1)
+        mode = sqlite3.connect(str(ledger.path)).execute(
+            "PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+
+    def test_record_run_swallows_recorder_errors(self, tmp_path):
+        # A metrics object missing everything must not raise out of the
+        # choke point.
+        class Broken:
+            def __getattr__(self, name):
+                raise RuntimeError("boom")
+
+        assert record_run(Broken(), "key", cache_hit=False,
+                          wall_s=0.0) is None
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+
+class TestLedgerCli:
+    def test_ls_query_show_json(self, capsys):
+        from repro.cli import main
+
+        _seed_rows(get_ledger())
+        assert main(["ledger", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "libquantum" in out and "mcf" in out
+        assert "fresh" in out and "cache" in out
+
+        assert main(["ledger", "query", "--origin", "service",
+                     "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        assert rows[0]["origin"] == "service"
+        assert rows[0]["trace_id"].startswith("t")
+
+        assert main(["ledger", "query", "--workload", "mcf",
+                     "--design", "das", "--since", "1",
+                     "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {r["workload"] for r in rows} == {"mcf"}
+
+        assert main(["ledger", "show", str(rows[0]["id"])]) == 0
+        out = capsys.readouterr().out
+        assert "spec_key" in out and "trace_id" in out
+        assert main(["ledger", "show", "99999"]) == 1
+        capsys.readouterr()
+
+    def test_prune_cli(self, capsys):
+        from repro.cli import main
+
+        _seed_rows(get_ledger())
+        assert main(["ledger", "prune", "--keep-last", "2",
+                     "--dry-run"]) == 0
+        assert "would prune 2" in capsys.readouterr().out
+        assert main(["ledger", "prune", "--keep-last", "2",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["pruned"] == 2
+        assert report["stats"]["runs"] == 2
+        assert main(["ledger", "prune"]) == 2  # a bound is required
+        capsys.readouterr()
+
+    def test_explicit_dir_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        elsewhere = tmp_path / "elsewhere"
+        _seed_rows(get_ledger(elsewhere / "ledger.db"), n=1)
+        assert main(["ledger", "ls", "--dir", str(elsewhere),
+                     "--json"]) == 0
+        assert len(json.loads(capsys.readouterr().out)) == 1
+
+
+class TestPerfHistoryCli:
+    def test_history_renders_trajectory_and_flags(self, tmp_path,
+                                                  capsys):
+        from repro.cli import main
+
+        ledger = get_ledger()
+        scale = {"refs": 6000, "mix_refs": 2500}
+        now = time.time()
+        for i, wall in enumerate((1.0, 1.05, 2.4)):
+            ledger.record_perf("single_das", "check", wall,
+                               {"instructions": 500}, 10, scale,
+                               ts=now + i)
+        baseline_dir = tmp_path / "baselines"
+        baseline_dir.mkdir()
+        (baseline_dir / "BENCH_single_das.json").write_text(json.dumps({
+            "name": "single_das", "code_version": 10, "scale": scale,
+            "wall_s": 1.0, "wall_tolerance": 0.2,
+            "counters": {"instructions": 500}}))
+        # The latest wall (2.4s) is far outside ±20% of the baseline.
+        code = main(["perf", "history", "single_das",
+                     "--dir", str(baseline_dir)])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "3 measurement(s)" in captured.out
+        assert "committed baseline: 1.000s" in captured.out
+        assert "instructions" in captured.out
+        assert "[wall]" in captured.err
+
+        code = main(["perf", "history", "single_das",
+                     "--dir", str(baseline_dir), "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["rows"]) == 3
+        assert payload["findings"][0]["kind"] == "wall"
+
+    def test_history_without_measurements_or_baseline(self, tmp_path,
+                                                      capsys):
+        from repro.cli import main
+
+        assert main(["perf", "history", "single_das",
+                     "--dir", str(tmp_path)]) == 0
+        assert "no measurements" in capsys.readouterr().out
+        assert main(["perf", "history", "nonsense",
+                     "--dir", str(tmp_path)]) == 2
+        capsys.readouterr()
+
+
+class TestReportCli:
+    def test_report_is_self_contained_html(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ledger = get_ledger()
+        _seed_rows(ledger)
+        ledger.record_perf("single_das", "record", 1.2,
+                           {"instructions": 500}, 10,
+                           {"refs": 6000, "mix_refs": 2500})
+        ledger.record_validate("ci", True, {"pass": 5, "fail": 0,
+                                            "skip": 1, "error": 0},
+                               10, "simulated")
+        out = tmp_path / "report.html"
+        assert main(["report", "--out", str(out),
+                     "--baseline-dir", str(tmp_path / "none")]) == 0
+        assert "report ->" in capsys.readouterr().out
+        page = out.read_text()
+        assert page.startswith("<!DOCTYPE html>")
+        # Self-contained: no external fetches of any kind.
+        for marker in ("http://", "https://", "<script", "url(",
+                       "@import"):
+            assert marker not in page, f"external reference: {marker}"
+        # Run table, breakdowns, perf trend and validate summary.
+        assert "libquantum" in page and "mcf" in page
+        trace = ledger.runs()[0]["trace_id"]
+        assert trace in page
+        assert "single_das" in page and "<svg" in page
+        assert "PASS" in page
+        assert "By design" in page and "By workload" in page
+
+    def test_report_escapes_hostile_names(self, tmp_path):
+        from repro.obs.report import build_report
+
+        ledger = get_ledger()
+        ledger.record_run(
+            ts=time.time(), spec_key="k",
+            workload="<script>alert(1)</script>", design="das",
+            refs=1, num_cores=1, seed=1, code_version=10, origin="run",
+            trace_id="t0", cache_hit=0, wall_s=0.1, ipc=1.0,
+            row_buffer_hit_rate=0.5, fast_hit_rate=0.2, promotions=0,
+            mpki=1.0, mean_read_latency_ns=40.0)
+        page = build_report(ledger)
+        assert "<script>" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_report_with_baseline_draws_reference_line(self, tmp_path):
+        from repro.obs.report import build_report
+
+        ledger = get_ledger()
+        ledger.record_perf("single_das", "check", 1.0, {}, 10, {})
+        page = build_report(ledger, baselines={
+            "single_das": {"name": "single_das", "wall_s": 0.9}})
+        assert "committed baseline: 0.900s" in page
+
+    def test_empty_ledger_still_renders(self):
+        from repro.obs.report import build_report
+
+        page = build_report(get_ledger())
+        assert "no perf measurements recorded yet" in page
+        assert "no validate runs recorded yet" in page

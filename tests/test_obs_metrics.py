@@ -184,10 +184,23 @@ class TestQuantiles:
         buckets = [(1.0, 1.0), (math.inf, 10.0)]
         assert quantile_from_buckets(buckets, 0.99) == 1.0
 
-    def test_empty_histogram_is_none(self):
-        assert quantile_from_buckets([], 0.5) is None
+    def test_zero_observations_return_defined_zero(self):
+        # The documented contract: no buckets, or buckets that have
+        # never observed anything, yield 0.0 — a defined value, not an
+        # interpolation artefact and not None.
+        assert quantile_from_buckets([], 0.5) == 0.0
         assert quantile_from_buckets([(1.0, 0.0), (math.inf, 0.0)],
-                                     0.5) is None
+                                     0.5) == 0.0
+        assert quantile_from_buckets([(math.inf, 0.0)], 0.99) == 0.0
+
+    def test_single_bucket_histogram(self):
+        # Everything in one finite bucket: interpolate from 0 toward
+        # its bound by rank.
+        assert quantile_from_buckets([(2.0, 4.0), (math.inf, 4.0)],
+                                     0.5) == pytest.approx(1.0)
+        # A single +Inf bucket has no finite edge; the estimator falls
+        # back to the previous bound, which is the origin.
+        assert quantile_from_buckets([(math.inf, 7.0)], 0.5) == 0.0
 
 
 class TestMetricsHttpServer:

@@ -201,6 +201,22 @@ class TestWorker:
         assert code == 1
         assert events[-1]["event"] == "worker_error"
 
+    def test_both_paths_land_ledger_rows_with_the_job_trace(self,
+                                                            monkeypatch):
+        """Fresh and store-hit completions both show up in the run
+        ledger as ``origin="service"`` rows carrying the job's trace."""
+        from repro.obs.ledger import get_ledger
+
+        monkeypatch.delenv("REPRO_NO_LEDGER", raising=False)
+        spec = RunSpec("mcf", "das", REFS, 1)
+        for trace in ("tfresh0000001", "tstore0000002"):
+            assert run_job({"spec": protocol.spec_to_wire(spec),
+                            "trace_id": trace},
+                           lambda event: None) == 0
+        rows = get_ledger().runs(origin="service")
+        assert [(r["trace_id"], r["cache_hit"]) for r in rows] == [
+            ("tstore0000002", 1), ("tfresh0000001", 0)]
+
     def test_every_event_echoes_the_trace_id(self):
         """The worker's stdout stream IS its log; each record must be
         correlatable with the server log and client frames by trace."""
@@ -580,6 +596,32 @@ class TestTopDashboard:
         assert "workers  0/2" in screen
         assert "bench" in screen  # the per-kind counter table
         assert "end-to-end" in screen  # the latency percentile table
+
+    def test_once_json_emits_machine_readable_snapshot(self, harness):
+        """``repro top --once --json``: one JSON document, no screens."""
+        from repro.service.top import run_top
+
+        with harness.client() as client:
+            assert client.submit_bench(RunSpec("mcf", "das", REFS, 1)).ok
+        outputs = []
+        code = run_top("127.0.0.1", harness.port, iterations=1,
+                       clear=False, as_json=True, echo=outputs.append)
+        assert code == 0
+        assert len(outputs) == 1
+        snapshot = json.loads(outputs[0])  # valid JSON, not a screen
+        assert snapshot["queue"] == {"queued": 0, "draining": False}
+        assert snapshot["workers"]["slots"] == 2
+        assert snapshot["workers"]["running"] == 0
+        assert snapshot["store"]["entries"] >= 1
+        assert snapshot["jobs"]["completed"].get("bench", 0) >= 1
+        assert snapshot["uptime_s"] >= 0
+        families = {entry["name"] for entry in snapshot["latency"]}
+        assert "repro_job_e2e_seconds" in families
+        for entry in snapshot["latency"]:
+            if entry["count"] == 0:  # no data: quantiles are null...
+                assert entry["p50"] is None
+            else:  # ...never a fabricated 0.0
+                assert entry["p99"] >= entry["p50"] >= 0.0
 
     def test_unreachable_server_exits_nonzero(self):
         from repro.service.top import run_top

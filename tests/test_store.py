@@ -118,7 +118,10 @@ class TestGc:
             os.utime(store.path_for(key), (past, past))
         entry_size = store.entries()[0].size_bytes
         evicted = store.gc(max_bytes=2 * entry_size + 1)
-        assert evicted == ["old"]
+        assert [e.key for e in evicted] == ["old"]
+        assert evicted[0].reason == "lru"
+        assert "least recently used" in evicted[0].detail
+        assert f"{2 * entry_size + 1} B cap" in evicted[0].detail
         assert not store.contains("old")
         assert store.contains("mid") and store.contains("new")
 
@@ -129,8 +132,27 @@ class TestGc:
         past = time.time() - 10_000
         os.utime(store.path_for("stale"), (past, past))
         evicted = store.gc(max_age_s=5_000)
-        assert evicted == ["stale"]
+        assert [e.key for e in evicted] == ["stale"]
+        assert evicted[0].reason == "age"
+        # ~10000s old against a 5000s bound, reported in hours.
+        assert "2.8h old" in evicted[0].detail
+        assert "bound 1.4h" in evicted[0].detail
         assert store.contains("fresh")
+
+    def test_gc_mixed_bounds_attribute_each_reason(self):
+        store = get_store()
+        for index, key in enumerate(("ancient", "older", "newer")):
+            store.store(key, _metrics())
+            past = time.time() - (3 - index) * 10_000
+            os.utime(store.path_for(key), (past, past))
+        # "ancient" (30000s) breaches the age bound; the byte cap of 0
+        # then evicts the survivors LRU-first for a different reason.
+        evicted = store.gc(max_bytes=0, max_age_s=25_000)
+        reasons = {e.key: e.reason for e in evicted}
+        assert reasons == {"ancient": "age", "older": "lru",
+                           "newer": "lru"}
+        assert all(isinstance(str(e), str) and e.key in str(e)
+                   for e in evicted)
 
     def test_gc_without_bounds_is_a_noop(self):
         store = get_store()
@@ -152,12 +174,17 @@ class TestGc:
         past = time.time() - 10_000
         os.utime(store.path_for("stale"), (past, past))
         would = store.gc(max_age_s=5_000, dry_run=True)
-        assert would == ["stale"]
+        assert [e.key for e in would] == ["stale"]
+        assert would[0].reason == "age"
         assert store.contains("stale") and store.contains("fresh")
         assert store.evictions == 0
         assert store.stats()["entries"] == 2
-        # The same bounds for real evict exactly what was predicted.
-        assert store.gc(max_age_s=5_000) == would
+        # The same bounds for real evict exactly what was predicted
+        # (keys and reasons alike; the age detail may drift by the
+        # seconds between the two calls).
+        real = store.gc(max_age_s=5_000)
+        assert [(e.key, e.reason) for e in real] == \
+            [(e.key, e.reason) for e in would]
         assert not store.contains("stale")
 
 
@@ -300,7 +327,9 @@ class TestCacheCli:
 
         assert main(["cache", "gc", "--dir", directory,
                      "--max-age-days", "0.05"]) == 0
-        assert "evicted 1" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "evicted a (age:" in out  # the per-key reason line
+        assert "evicted 1" in out
         assert not store.contains("a") and store.contains("b")
 
     def test_gc_dry_run_cli(self, capsys):
@@ -316,7 +345,8 @@ class TestCacheCli:
         assert main(["cache", "gc", "--dir", directory,
                      "--max-age-days", "0.05", "--dry-run"]) == 0
         out = capsys.readouterr().out
-        assert "would evict a" in out
+        assert "would evict a (age:" in out  # reason next to the key
+        assert "h old" in out
         assert "nothing touched" in out
         assert store.contains("a") and store.contains("b")
 
@@ -325,7 +355,9 @@ class TestCacheCli:
                      "--json"]) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["dry_run"] is True
-        assert report["evicted"] == ["a"]
+        assert [e["key"] for e in report["evicted"]] == ["a"]
+        assert report["evicted"][0]["reason"] == "age"
+        assert "h old" in report["evicted"][0]["detail"]
         assert store.contains("a")  # --json dry run also touches nothing
 
     def test_gc_requires_a_bound(self, capsys):
