@@ -38,6 +38,7 @@ import sys
 from typing import Iterator, List, Optional
 
 from .core.variants import DESIGNS
+from .engine import DEFAULT_ENGINE, ENGINES
 from .exec.pool import DEFAULT_RETRIES, DEFAULT_TIMEOUT_S
 from .experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
 from .service import protocol as service_protocol
@@ -103,6 +104,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             f"or {', '.join(mix_names())}")
     bench.add_argument("--design", default="das", choices=DESIGNS)
     bench.add_argument("--refs", type=int, default=None)
+    bench.add_argument("--engine", default=DEFAULT_ENGINE, choices=ENGINES,
+                       help="simulation engine: 'interp' (reference "
+                            "interpreter) or 'compiled' (generated "
+                            "specialized kernel; bit-identical counters)")
     bench.add_argument("--no-cache", action="store_true")
     bench.add_argument("--profile", metavar="PATH", default=None,
                        help="profile the run under cProfile and write "
@@ -122,6 +127,8 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--design", default="das", choices=DESIGNS)
     stats.add_argument("--refs", type=int, default=None)
     stats.add_argument("--seed", type=int, default=1)
+    stats.add_argument("--engine", default=DEFAULT_ENGINE, choices=ENGINES,
+                       help="simulation engine (see 'bench --engine')")
     stats.add_argument("--no-cache", action="store_true")
     stats.add_argument("--timeline", action="store_true",
                        help="also render the phase-resolved timeline "
@@ -329,6 +336,9 @@ def _build_parser() -> argparse.ArgumentParser:
     s_bench.add_argument("--design", default="das", choices=DESIGNS)
     s_bench.add_argument("--refs", type=int, default=None)
     s_bench.add_argument("--seed", type=int, default=1)
+    s_bench.add_argument("--engine", default=DEFAULT_ENGINE, choices=ENGINES,
+                         help="simulation engine the worker should use "
+                              "(see 'bench --engine')")
     _client_flags(s_bench, timeline_default=True)
 
     s_exp = submit_sub.add_parser(
@@ -423,6 +433,8 @@ def _build_parser() -> argparse.ArgumentParser:
     l_query.add_argument("--design", default=None)
     l_query.add_argument("--origin", default=None,
                          help="run | service | perf | validate")
+    l_query.add_argument("--engine", default=None, choices=ENGINES,
+                         help="only rows recorded by this engine")
     l_query.add_argument("--since", type=float, default=None, metavar="DAYS",
                          help="only rows recorded in the last DAYS days")
     l_query.add_argument("--limit", type=int, default=None, metavar="N")
@@ -442,6 +454,24 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "(default: $REPRO_CACHE_DIR or "
                                 ".repro_cache)")
         l_cmd.add_argument("--json", action="store_true", dest="as_json")
+
+    engine = sub.add_parser(
+        "engine", help="inspect / verify the pluggable simulation engines")
+    engine_sub = engine.add_subparsers(dest="engine_command", required=True)
+    e_verify = engine_sub.add_parser(
+        "verify", help="run every perf scenario on both engines and "
+                       "require bit-identical metrics (the compiled "
+                       "kernel's oracle contract)")
+    e_verify.add_argument("names", nargs="*",
+                          help="verify scenario names (default: all; see "
+                               "--list)")
+    e_verify.add_argument("--refs", type=int, default=None,
+                          help="override the perf-scale reference budget "
+                               "for every scenario (smaller = faster)")
+    e_verify.add_argument("--list", action="store_true", dest="list_only",
+                          help="list verify scenarios and exit")
+    e_verify.add_argument("--json", action="store_true", dest="as_json",
+                          help="emit the machine-readable summary")
 
     report = sub.add_parser(
         "report", help="write a self-contained HTML report over the run "
@@ -602,6 +632,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cache_command(args)
     if args.command == "ledger":
         return _ledger_command(args)
+    if args.command == "engine":
+        return _engine_command(args)
     if args.command == "report":
         return _report_command(args)
     raise AssertionError("unreachable")
@@ -767,7 +799,7 @@ def _submit_command(args) -> int:
                 job_config["timeline"] = not args.no_timeline
                 outcome = client.submit_bench(
                     RunSpec(args.workload, args.design, args.refs,
-                            args.seed),
+                            args.seed, engine=args.engine),
                     on_event=on_event, **job_config)
             elif args.submit_kind == "experiment":
                 outcome = client.submit_experiment(
@@ -1004,7 +1036,8 @@ def _bench_command(args) -> int:
         profile.enable()
     metrics = run_workload(args.workload, args.design,
                            references=args.refs,
-                           use_cache=not args.no_cache)
+                           use_cache=not args.no_cache,
+                           engine=args.engine)
     if profile is not None:
         profile.disable()
     print(f"workload={metrics.workload} design={metrics.design}")
@@ -1065,7 +1098,8 @@ def _stats_command(args) -> int:
 
     metrics = run_workload(args.workload, args.design,
                            references=args.refs, seed=args.seed,
-                           use_cache=not args.no_cache)
+                           use_cache=not args.no_cache,
+                           engine=args.engine)
     print(f"workload={metrics.workload} design={metrics.design} "
           f"references={metrics.references}")
     if not metrics.stats:
@@ -1261,13 +1295,13 @@ def _ledger_command(args) -> int:
                                   time.localtime(r["ts"]))
             table.append([
                 str(r["id"]), stamp, r["workload"], r["design"],
-                str(r["refs"]), r["origin"],
+                str(r["refs"]), r.get("engine") or "interp", r["origin"],
                 "cache" if r["cache_hit"] else "fresh",
                 "-" if r["ipc"] is None else f"{r['ipc']:.3f}",
                 f"{r['wall_s']:.3f}s", r["trace_id"]])
         for line in aligned_table(
-                ["id", "when", "workload", "design", "refs", "origin",
-                 "source", "ipc", "wall", "trace"], table):
+                ["id", "when", "workload", "design", "refs", "engine",
+                 "origin", "source", "ipc", "wall", "trace"], table):
             print(line)
 
     if args.ledger_command == "ls":
@@ -1277,8 +1311,8 @@ def _ledger_command(args) -> int:
         since_ts = (time.time() - args.since * 86400.0
                     if args.since is not None else None)
         print_rows(ledger.runs(workload=args.workload, design=args.design,
-                               origin=args.origin, since_ts=since_ts,
-                               limit=args.limit))
+                               origin=args.origin, engine=args.engine,
+                               since_ts=since_ts, limit=args.limit))
         return 0
     if args.ledger_command == "show":
         row = ledger.run_by_id(args.id)
@@ -1314,6 +1348,40 @@ def _ledger_command(args) -> int:
           f"({result['aged']} by age, {result['overflow']} over "
           f"--keep-last); {ledger.stats()['runs']} remain")
     return 0
+
+
+def _engine_command(args) -> int:
+    """Handle ``repro engine verify``: the bit-identity equivalence gate."""
+    import json
+
+    from .engine.verify import (
+        VERIFY_SCENARIOS,
+        summarize,
+        verify_engines,
+    )
+
+    if args.list_only:
+        for scenario in VERIFY_SCENARIOS:
+            refs = (args.refs if args.refs is not None
+                    else scenario.references())
+            print(f"{scenario.name:20s} {scenario.workload}/"
+                  f"{scenario.design}  refs={refs}")
+        return 0
+    try:
+        results = verify_engines(names=args.names or None,
+                                 references=args.refs)
+    except KeyError as error:
+        print(f"engine verify: {error.args[0]}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(summarize(results), indent=2))
+    else:
+        for result in results:
+            print(result)
+        passed = sum(1 for r in results if r.ok)
+        print(f"engine verify: {passed}/{len(results)} scenario(s) "
+              f"bit-identical")
+    return 0 if all(result.ok for result in results) else 1
 
 
 def _report_command(args) -> int:

@@ -1,0 +1,55 @@
+"""Pluggable simulation engines.
+
+Two engines step the same model:
+
+* ``interp`` — the hand-tuned interpreted hot path in
+  :mod:`repro.controller.controller` and :mod:`repro.cpu.core`.  It is
+  the **reference oracle**: every counter it produces defines
+  correctness.
+* ``compiled`` — a per-configuration generated kernel
+  (:mod:`repro.engine.codegen`): the built device's
+  :class:`~repro.dram.timing.TimingTable` values, design geometry and
+  policy structure are elaborated into flattened, branch-specialized
+  Python source, compiled with :func:`compile` and cached on disk
+  under ``<store root>/kernels/`` keyed by (design hash,
+  ``CODE_VERSION``) — see :mod:`repro.engine.kernels`.
+
+The contract between them is **bit identity**: at any scale, both
+engines must produce byte-identical :class:`~repro.sim.metrics.RunMetrics`
+dictionaries.  ``repro engine verify`` (:mod:`repro.engine.verify`)
+enforces it locally and in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: The engine vocabulary, in precedence order.
+ENGINES = ("interp", "compiled")
+
+#: The reference oracle; also the engine implied by historical cache keys.
+DEFAULT_ENGINE = "interp"
+
+
+def validate_engine(engine: str) -> str:
+    """Return ``engine`` unchanged, or raise ``ValueError`` if unknown."""
+    if engine not in ENGINES:
+        known = ", ".join(ENGINES)
+        raise ValueError(f"unknown engine {engine!r} (expected one of {known})")
+    return engine
+
+
+def attach_compiled_engine(memory, hierarchy, cores: Sequence, config) -> None:
+    """Swap the hot loops of a built system for its generated kernel.
+
+    Loads (or generates, compiles and caches) the kernel module for
+    ``config`` and lets it install its closures: the per-channel drain
+    loop on ``memory`` and the per-reference stepping loop on each core.
+    Everything outside those loops — construction, warmup boundaries,
+    metric collection — stays on the interpreted paths, so the two
+    engines share every line of non-hot-loop code.
+    """
+    from .kernels import load_kernel
+
+    module = load_kernel(config)
+    module.install(memory, hierarchy, cores)

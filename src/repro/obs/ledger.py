@@ -52,7 +52,8 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 #: Bump when the table layout changes (stored in ``PRAGMA user_version``).
-SCHEMA_VERSION = 1
+#: v2 added the ``engine`` column to ``runs`` (interp vs compiled).
+SCHEMA_VERSION = 2
 
 #: Environment switch: ``1`` disables all ledger recording.
 NO_LEDGER_ENV = "REPRO_NO_LEDGER"
@@ -82,6 +83,7 @@ CREATE TABLE IF NOT EXISTS runs (
     trace_id TEXT NOT NULL,
     cache_hit INTEGER NOT NULL,
     wall_s REAL NOT NULL,
+    engine TEXT NOT NULL DEFAULT 'interp',
     ipc REAL,
     row_buffer_hit_rate REAL,
     fast_hit_rate REAL,
@@ -118,8 +120,8 @@ CREATE TABLE IF NOT EXISTS validate_runs (
 
 _RUN_COLUMNS = (
     "ts", "spec_key", "workload", "design", "refs", "num_cores", "seed",
-    "code_version", "origin", "trace_id", "cache_hit", "wall_s", "ipc",
-    "row_buffer_hit_rate", "fast_hit_rate", "promotions", "mpki",
+    "code_version", "origin", "trace_id", "cache_hit", "wall_s", "engine",
+    "ipc", "row_buffer_hit_rate", "fast_hit_rate", "promotions", "mpki",
     "mean_read_latency_ns",
 )
 
@@ -204,7 +206,19 @@ class RunLedger:
         conn.execute("PRAGMA busy_timeout=5000")
         conn.execute("PRAGMA synchronous=NORMAL")
         conn.executescript(_SCHEMA)
-        if conn.execute("PRAGMA user_version").fetchone()[0] == 0:
+        version = conn.execute("PRAGMA user_version").fetchone()[0]
+        if version == 0:
+            conn.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
+        elif version < 2:
+            # v1 -> v2: pre-engine databases gain the column in place
+            # (every historical row ran the interpreter, which is the
+            # column default).  The ALTER races benignly: a concurrent
+            # migrator that won simply makes ours a no-op.
+            try:
+                conn.execute("ALTER TABLE runs ADD COLUMN engine TEXT "
+                             "NOT NULL DEFAULT 'interp'")
+            except sqlite3.OperationalError:
+                pass  # already migrated by a concurrent writer
             conn.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
         conn.commit()
         return conn
@@ -263,9 +277,14 @@ class RunLedger:
         """Insert one ``runs`` row; returns its id (``None`` if dropped).
 
         ``fields`` must cover :data:`_RUN_COLUMNS`; missing headline
-        metrics may be ``None``.
+        metrics may be ``None``.  ``engine`` defaults to the reference
+        interpreter so pre-engine callers keep inserting valid rows
+        (the column is NOT NULL, and an explicit None would be silently
+        dropped by the damage guard instead of recorded).
         """
         row = {column: fields.get(column) for column in _RUN_COLUMNS}
+        if row.get("engine") is None:
+            row["engine"] = "interp"
 
         def action(conn: sqlite3.Connection) -> int:
             with conn:
@@ -329,12 +348,13 @@ class RunLedger:
         origin: Optional[str] = None,
         since_ts: Optional[float] = None,
         limit: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> List[Dict[str, object]]:
         """``runs`` rows (newest first), optionally filtered."""
         clauses: List[str] = []
         params: List[object] = []
         for column, value in (("workload", workload), ("design", design),
-                              ("origin", origin)):
+                              ("origin", origin), ("engine", engine)):
             if value is not None:
                 clauses.append(f"{column} = ?")
                 params.append(value)
@@ -513,14 +533,17 @@ def record_run(
     origin: Optional[str] = None,
     trace_id: Optional[str] = None,
     directory: Optional[os.PathLike] = None,
+    engine: str = "interp",
 ) -> Optional[int]:
     """Record one completed simulation (the choke-point entry).
 
     ``metrics`` is a :class:`~repro.sim.metrics.RunMetrics`; headline
     fields are derived from it.  ``origin`` defaults to the scoped
     :func:`current_origin`; ``trace_id`` defaults to a freshly minted
-    id so every row is correlatable even off the service path.  No-op
-    (returning ``None``) when the ledger is disabled, and never raises.
+    id so every row is correlatable even off the service path; ``engine``
+    names the stepping implementation that produced (or originally
+    produced, for cache hits) the result.  No-op (returning ``None``)
+    when the ledger is disabled, and never raises.
     """
     if not ledger_enabled():
         return None
@@ -542,6 +565,7 @@ def record_run(
             trace_id=trace_id if trace_id is not None else new_trace_id(),
             cache_hit=1 if cache_hit else 0,
             wall_s=float(wall_s),
+            engine=str(engine),
             ipc=ipc,
             row_buffer_hit_rate=locations.get("row_buffer"),
             fast_hit_rate=locations.get("fast"),

@@ -124,6 +124,7 @@ def spec_to_wire(spec: RunSpec) -> Dict[str, object]:
                  if spec.asym is not None else None),
         "controller": (dataclasses.asdict(spec.controller)
                        if spec.controller is not None else None),
+        "engine": spec.engine,
     }
 
 
@@ -136,6 +137,12 @@ def spec_from_wire(data: Dict[str, object]) -> RunSpec:
     """
     if "workload" not in data:
         raise ProtocolError("spec missing 'workload'")
+    from ..engine import ENGINES
+
+    engine = str(data.get("engine", "interp"))
+    if engine not in ENGINES:
+        raise ProtocolError(
+            f"unknown engine {engine!r} (choose from {', '.join(ENGINES)})")
     asym = data.get("asym")
     controller = data.get("controller")
     try:
@@ -149,6 +156,7 @@ def spec_from_wire(data: Dict[str, object]) -> RunSpec:
                   if asym is not None else None),
             controller=(ControllerConfig(**controller)  # type: ignore[arg-type]
                         if controller is not None else None),
+            engine=engine,
         )
     except (TypeError, ValueError) as error:
         raise ProtocolError(f"bad spec: {error}") from None

@@ -79,7 +79,8 @@ def run_job(payload: Dict[str, object], emit: Emit) -> int:
             ledger.record_run(cached, key, cache_hit=True,
                               wall_s=time.monotonic() - started,
                               seed=spec.seed, origin="service",
-                              trace_id=trace_id or None)
+                              trace_id=trace_id or None,
+                              engine=spec.engine)
             emit({"event": "worker_result", "key": key, "trace": trace_id,
                   "metrics": cached.to_dict(), "from_store": True,
                   "wall_s": time.monotonic() - started})
@@ -106,7 +107,8 @@ def run_job(payload: Dict[str, object], emit: Emit) -> int:
     try:
         metrics = fresh_run(spec.workload, config, references, spec.seed,
                             timeline_interval=interval,
-                            on_window=on_window if timeline else None)
+                            on_window=on_window if timeline else None,
+                            engine=spec.engine)
     except Exception as error:  # surface, don't die silently
         emit({"event": "worker_error", "key": key, "message": repr(error),
               "trace": trace_id, "traceback": traceback.format_exc()})
@@ -116,7 +118,8 @@ def run_job(payload: Dict[str, object], emit: Emit) -> int:
     ledger.record_run(metrics, key, cache_hit=False,
                       wall_s=time.monotonic() - started,
                       seed=spec.seed, origin="service",
-                      trace_id=trace_id or None)
+                      trace_id=trace_id or None,
+                      engine=spec.engine)
     emit({"event": "worker_result", "key": key, "trace": trace_id,
           "metrics": metrics.to_dict(), "from_store": False,
           "wall_s": time.monotonic() - started})

@@ -18,6 +18,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..common.config import AsymmetricConfig, ControllerConfig, SystemConfig
 from ..common.rng import derive_seed
+from ..common.version import CODE_VERSION
 from ..core.variants import PROFILED_DESIGNS
 from ..trace.multiprog import MIXES, build_mix_traces
 from ..trace.record import AccessTuple
@@ -25,8 +26,9 @@ from ..trace.spec2006 import PROFILES, build_trace
 from .metrics import RunMetrics
 from .system import profile_row_heat, simulate
 
-#: Bump to invalidate every cached result after a model change.
-CODE_VERSION = 10
+# CODE_VERSION is defined in repro.common.version (so the engine's
+# kernel cache can key on it without importing this module) and
+# re-exported here for its historical importers.
 
 #: Default trace lengths (memory references per core).
 DEFAULT_SINGLE_REFS = 300_000
@@ -128,6 +130,19 @@ def resolve_run_shape(workload: str,
     return num_cores, references
 
 
+def _engine_key_suffix(engine: str) -> str:
+    """Cache-key marker separating per-engine results.
+
+    The interpreter keeps its historical keys (empty suffix) so every
+    pre-existing cached result stays addressable; any other engine gets
+    an explicit marker so interp/compiled results can never alias even
+    though their payloads are required to be bit-identical.
+    """
+    from ..engine import DEFAULT_ENGINE
+
+    return "" if engine == DEFAULT_ENGINE else f"-eng={engine}"
+
+
 def run_cache_key(
     workload: str,
     design: str = "das",
@@ -135,13 +150,14 @@ def run_cache_key(
     seed: int = 1,
     asym: Optional[AsymmetricConfig] = None,
     controller: Optional[ControllerConfig] = None,
+    engine: str = "interp",
 ) -> str:
     """The disk-cache key :func:`run_workload` would use for these args."""
     num_cores, references = resolve_run_shape(workload, references)
     config = make_config(design, num_cores=num_cores, seed=seed, asym=asym,
                          controller=controller)
     return (f"v{CODE_VERSION}-{workload}-{references}-"
-            f"{config.cache_key()}")
+            f"{config.cache_key()}{_engine_key_suffix(engine)}")
 
 
 def fresh_run(
@@ -152,6 +168,7 @@ def fresh_run(
     tracer=None,
     timeline_interval: Optional[int] = None,
     on_window: Optional[Callable[[Dict[str, object]], None]] = None,
+    engine: str = "interp",
 ) -> RunMetrics:
     """Simulate one run from scratch (no cache involvement).
 
@@ -182,7 +199,7 @@ def fresh_run(
     return simulate(config, traces, references,
                     workload_name=workload, row_heat=row_heat,
                     tracer=tracer, timeline_interval_refs=timeline_interval,
-                    on_window=on_window)
+                    on_window=on_window, engine=engine)
 
 
 def run_workload(
@@ -194,6 +211,7 @@ def run_workload(
     controller: Optional[ControllerConfig] = None,
     use_cache: bool = True,
     timeline: bool = True,
+    engine: str = "interp",
 ) -> RunMetrics:
     """Run (or recall) one (workload, design) simulation.
 
@@ -212,13 +230,15 @@ def run_workload(
     history with no wiring of their own.  ``REPRO_NO_LEDGER=1`` reduces
     that to a single environment lookup.
     """
+    from ..engine import validate_engine
     from ..obs import ledger
 
+    validate_engine(engine)
     num_cores, references = resolve_run_shape(workload, references)
     config = make_config(design, num_cores=num_cores, seed=seed, asym=asym,
                          controller=controller)
     key = (f"v{CODE_VERSION}-{workload}-{references}-"
-           f"{config.cache_key()}")
+           f"{config.cache_key()}{_engine_key_suffix(engine)}")
     record = ledger.ledger_enabled()
     started = time.monotonic() if record else 0.0
     if use_cache:
@@ -227,17 +247,18 @@ def run_workload(
             if record:
                 ledger.record_run(cached, key, cache_hit=True,
                                   wall_s=time.monotonic() - started,
-                                  seed=seed)
+                                  seed=seed, engine=engine)
             return cached
     interval = (default_timeline_interval(references, num_cores)
                 if timeline else None)
     metrics = fresh_run(workload, config, references, seed,
-                        timeline_interval=interval)
+                        timeline_interval=interval, engine=engine)
     if use_cache:
         _store_cached(key, metrics)
     if record:
         ledger.record_run(metrics, key, cache_hit=False,
-                          wall_s=time.monotonic() - started, seed=seed)
+                          wall_s=time.monotonic() - started, seed=seed,
+                          engine=engine)
     return metrics
 
 

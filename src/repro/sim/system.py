@@ -61,6 +61,7 @@ def simulate(
     tracer=None,
     timeline_interval_refs: Optional[int] = None,
     on_window: Optional[Callable[[Dict[str, object]], None]] = None,
+    engine: str = "interp",
 ) -> RunMetrics:
     """Build and run one system; return its measured metrics.
 
@@ -74,6 +75,13 @@ def simulate(
     moment it is emitted — the live-progress hook of the job server's
     workers; sampling only reads counters, so the simulated schedule is
     identical with or without an observer.
+
+    ``engine`` selects the stepping implementation (see
+    :mod:`repro.engine`): ``interp`` runs the reference interpreter;
+    ``compiled`` swaps the hot loops for the configuration's generated
+    kernel after the system is built.  Both produce bit-identical
+    metrics; the compiled engine rejects event tracing (the kernel has
+    no emission sites — trace with the interpreter).
     """
     if len(traces) != config.num_cores:
         raise ValueError(
@@ -92,6 +100,15 @@ def simulate(
         memory.manager.tracer = tracer
         for core in simulator.cores:
             core.tracer = tracer
+    if engine != "interp":
+        from ..engine import attach_compiled_engine, validate_engine
+
+        validate_engine(engine)
+        if tracer is not None:
+            raise ValueError(
+                "engine 'compiled' does not support event tracing; "
+                "run the interpreter to capture traces")
+        attach_compiled_engine(memory, hierarchy, simulator.cores, config)
     simulator.run()
     return collect_metrics(workload_name, config, simulator, hierarchy,
                            memory, sampler=sampler)
