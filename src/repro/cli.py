@@ -82,7 +82,8 @@ def _build_parser() -> argparse.ArgumentParser:
                           "wall time and worker, failures, summary) as "
                           "JSON lines to PATH")
 
-    trace = sub.add_parser("trace", help="dump or replay trace files")
+    trace = sub.add_parser(
+        "trace", help="import, inspect, dump or replay trace files")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     dump = trace_sub.add_parser("dump",
                                 help="write a benchmark trace to a file")
@@ -90,18 +91,46 @@ def _build_parser() -> argparse.ArgumentParser:
     dump.add_argument("--out", required=True, help="output trace file")
     dump.add_argument("--refs", type=int, default=50_000)
     dump.add_argument("--seed", type=int, default=1)
-    replay = trace_sub.add_parser("run", help="simulate a trace file")
+    replay = trace_sub.add_parser(
+        "run", help="simulate a trace file (plain-text or .rtrc)")
     replay.add_argument("path")
     replay.add_argument("--design", default="das", choices=DESIGNS)
     replay.add_argument("--refs", type=int, default=None,
                         help="references to replay (default: whole file)")
     replay.add_argument("--seed", type=int, default=1,
                         help="seed for the simulated system")
+    timport = trace_sub.add_parser(
+        "import",
+        help="ingest a DRAMSim2 k6/mase trace (gzip ok) into the trace "
+             "library as .rtrc; run it with 'bench trace:<name>'")
+    timport.add_argument("path", help="source trace file")
+    timport.add_argument("--name", default=None,
+                         help="library name (default: source basename "
+                              "without extensions)")
+    timport.add_argument("--format", default=None, choices=["k6", "mase"],
+                         help="source format (default: detect from the "
+                              "filename prefix, then the content)")
+    tinfo = trace_sub.add_parser(
+        "info", help="print an imported or on-disk .rtrc trace's header")
+    tinfo.add_argument("name",
+                       help="library trace name, or a path to an .rtrc "
+                            "file")
+    tconvert = trace_sub.add_parser(
+        "convert",
+        help="convert a k6/mase trace to .rtrc at an explicit path "
+             "(no library involvement)")
+    tconvert.add_argument("path", help="source trace file")
+    tconvert.add_argument("--out", required=True, help="output .rtrc file")
+    tconvert.add_argument("--format", default=None, choices=["k6", "mase"],
+                          help="source format (default: auto-detect)")
+    trace_sub.add_parser("ls", help="list the trace library's contents")
 
     bench = sub.add_parser("bench", help="run one workload/design pair")
     bench.add_argument("workload",
-                       help=f"one of {', '.join(benchmark_names())} "
-                            f"or {', '.join(mix_names())}")
+                       help=f"one of {', '.join(benchmark_names())}, "
+                            f"{', '.join(mix_names())}, an extra profile "
+                            f"(see docs), or an imported trace "
+                            f"(trace:<name> / tracemix:<a>+<b>+...)")
     bench.add_argument("--design", default="das", choices=DESIGNS)
     bench.add_argument("--refs", type=int, default=None)
     bench.add_argument("--engine", default=DEFAULT_ENGINE, choices=ENGINES,
@@ -1432,14 +1461,77 @@ def _events_command(args) -> int:
     return 0
 
 
+def _print_trace_info(info) -> None:
+    """Render one trace info dict as aligned key/value lines."""
+    for field in ("name", "path", "source_format", "records", "blocks",
+                  "block_records", "file_bytes", "content_hash"):
+        if field in info:
+            print(f"  {field:13} {info[field]}")
+
+
 def _trace_command(args) -> int:
-    """Handle ``repro trace dump|run``."""
+    """Handle ``repro trace dump|run|import|info|convert|ls``."""
     import itertools
 
     from .sim.runner import run_trace_file
+    from .trace.ingest import TraceFormatError
     from .trace.record import write_trace
     from .trace.spec2006 import PROFILES, build_trace
 
+    if args.trace_command == "import":
+        from .trace.library import import_trace
+
+        try:
+            info = import_trace(args.path, name=args.name, fmt=args.format)
+        except (TraceFormatError, ValueError, OSError) as error:
+            print(f"import failed: {error}", file=sys.stderr)
+            return 2
+        print(f"imported {args.path} as trace:{info['name']}")
+        _print_trace_info(info)
+        print(f"run it: repro bench trace:{info['name']} --refs 5000")
+        return 0
+    if args.trace_command == "info":
+        from .trace.library import list_traces, open_trace
+        from .trace.rtrc import RtrcReader
+
+        try:
+            if args.name in list_traces():
+                reader = open_trace(args.name)
+            else:
+                reader = RtrcReader(args.name)
+        except (TraceFormatError, KeyError, OSError) as error:
+            print(f"info failed: {error}", file=sys.stderr)
+            return 2
+        _print_trace_info(reader.info())
+        return 0
+    if args.trace_command == "convert":
+        from .trace.ingest import detect_format, parse_trace
+        from .trace.rtrc import write_rtrc
+
+        try:
+            fmt = args.format or detect_format(args.path)
+            info = write_rtrc(parse_trace(args.path, fmt), args.out,
+                              source_format=fmt)
+        except (TraceFormatError, OSError) as error:
+            print(f"convert failed: {error}", file=sys.stderr)
+            return 2
+        print(f"converted {args.path} ({fmt}) -> {args.out}")
+        _print_trace_info(info)
+        return 0
+    if args.trace_command == "ls":
+        from .trace.library import list_traces, open_trace, trace_dir
+
+        names = list_traces()
+        if not names:
+            print(f"trace library {trace_dir()} is empty "
+                  f"(use 'repro trace import')")
+            return 0
+        for name in names:
+            info = open_trace(name).info()
+            print(f"trace:{name}  {info['records']} records  "
+                  f"{info['source_format']}  "
+                  f"{info['content_hash'][:12]}")
+        return 0
     if args.trace_command == "dump":
         if args.workload not in PROFILES:
             print(f"unknown workload {args.workload!r}", file=sys.stderr)

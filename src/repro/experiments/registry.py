@@ -34,6 +34,12 @@ from .fig9 import (
 )
 from .power import power_study, power_study_plan
 from .report import ExperimentResult
+from .scenarios import (
+    footprint_plan,
+    footprint_sweep,
+    stress_plan,
+    stress_study,
+)
 from .tables import table1, table2
 
 
@@ -108,6 +114,14 @@ EXPERIMENTS: Dict[str, Experiment] = {
         fairness_study,
         "Mix fairness: per-core slowdown spread (repo extra)",
         plan=fairness_study_plan),
+    "stress": Experiment(
+        stress_study,
+        "Stress generators: refresh/write-burst/channel-hop (repo extra)",
+        plan=stress_plan),
+    "footprint": Experiment(
+        footprint_sweep,
+        "Working-set ladder across the fast-capacity knee (repo extra)",
+        plan=footprint_plan),
 }
 
 

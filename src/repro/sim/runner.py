@@ -111,6 +111,11 @@ def _workload_traces(
         # Extra workloads have no episode structure; profiling passes
         # simply observe a longer window of the same behaviour.
         return [build_extra_trace(workload, seed)]
+    from ..trace import library
+
+    if library.is_trace_workload(workload):
+        return library.build_workload_traces(
+            workload, seed, config.geometry.capacity_bytes, mode=mode)
     raise KeyError(f"unknown workload {workload!r}")
 
 
@@ -118,11 +123,19 @@ def resolve_run_shape(workload: str,
                       references: Optional[int]) -> Tuple[int, int]:
     """(num_cores, references) a run of ``workload`` will actually use.
 
-    Mixes run four cores at the mix default length; everything else runs
-    one core at the single-programming default.  The executor's planner
-    relies on this so pre-planned specs and :func:`run_workload` agree on
-    cache keys.
+    Mixes run four cores at the mix default length; imported-trace
+    workloads resolve through the trace library (``trace:`` defaults to
+    the record count, ``tracemix:`` to one core per member); everything
+    else runs one core at the single-programming default.  The
+    executor's planner relies on this so pre-planned specs and
+    :func:`run_workload` agree on cache keys.
     """
+    from ..trace import library
+
+    if library.is_trace_workload(workload):
+        return library.resolve_trace_shape(workload, references,
+                                           DEFAULT_SINGLE_REFS,
+                                           DEFAULT_MIX_REFS)
     is_mix = workload in MIXES
     num_cores = 4 if is_mix else 1
     if references is None:
@@ -143,6 +156,20 @@ def _engine_key_suffix(engine: str) -> str:
     return "" if engine == DEFAULT_ENGINE else f"-eng={engine}"
 
 
+def _workload_key_token(workload: str) -> str:
+    """Content-addressing token for file-backed workloads.
+
+    Synthetic workloads are pure functions of (name, seed, code
+    version), so their key needs nothing extra.  ``trace:``/``tracemix:``
+    workloads replay files on disk; the library folds each file member's
+    sha256 content hash in (``@<hash12>...``) so a replaced trace file
+    can never alias a stale cached result.
+    """
+    from ..trace import library
+
+    return library.workload_cache_token(workload)
+
+
 def run_cache_key(
     workload: str,
     design: str = "das",
@@ -156,8 +183,8 @@ def run_cache_key(
     num_cores, references = resolve_run_shape(workload, references)
     config = make_config(design, num_cores=num_cores, seed=seed, asym=asym,
                          controller=controller)
-    return (f"v{CODE_VERSION}-{workload}-{references}-"
-            f"{config.cache_key()}{_engine_key_suffix(engine)}")
+    return (f"v{CODE_VERSION}-{workload}{_workload_key_token(workload)}-"
+            f"{references}-{config.cache_key()}{_engine_key_suffix(engine)}")
 
 
 def fresh_run(
@@ -215,8 +242,11 @@ def run_workload(
 ) -> RunMetrics:
     """Run (or recall) one (workload, design) simulation.
 
-    ``workload`` is either a SPEC benchmark name (single-programming) or a
-    mix name ``M1``..``M8`` (multi-programming, four cores).
+    ``workload`` is a SPEC benchmark name (single-programming), a mix
+    name ``M1``..``M8`` (multi-programming, four cores), an extra
+    synthetic profile, or a file-backed workload from the trace library
+    (``trace:<name>`` / ``tracemix:<a>+<b>+...``; see
+    :mod:`repro.trace.library` and docs/TRACES.md).
 
     ``timeline`` samples the phase-resolved timeline (on by default so
     cached results carry their series; the sampled schedule is identical
@@ -237,8 +267,8 @@ def run_workload(
     num_cores, references = resolve_run_shape(workload, references)
     config = make_config(design, num_cores=num_cores, seed=seed, asym=asym,
                          controller=controller)
-    key = (f"v{CODE_VERSION}-{workload}-{references}-"
-           f"{config.cache_key()}{_engine_key_suffix(engine)}")
+    key = (f"v{CODE_VERSION}-{workload}{_workload_key_token(workload)}-"
+           f"{references}-{config.cache_key()}{_engine_key_suffix(engine)}")
     record = ledger.ledger_enabled()
     started = time.monotonic() if record else 0.0
     if use_cache:
@@ -270,22 +300,33 @@ def run_trace_file(
     asym: Optional[AsymmetricConfig] = None,
     controller: Optional[ControllerConfig] = None,
 ) -> RunMetrics:
-    """Run a workload from a trace file (``gap address R|W`` per line).
+    """Run a workload directly from a trace file on disk.
 
-    Trace files are produced by :func:`repro.trace.record.write_trace` or
-    the ``repro trace`` CLI subcommand.  Results are not cached (files
-    may change independently of their path).
+    Accepts the plain-text format (``gap address R|W`` per line, from
+    :func:`repro.trace.record.write_trace` / ``repro trace dump``) and
+    the columnar ``.rtrc`` format (from ``repro trace import|convert``),
+    distinguished by magic bytes.  Results are not cached (files may
+    change independently of their path); for cached, content-addressed
+    replays import the file and run ``trace:<name>`` instead.
     """
     from ..trace.record import read_trace
+    from ..trace.rtrc import MAGIC, RtrcReader, records_to_accesses
 
-    with open(path) as stream:
-        records = list(read_trace(stream))
+    config = make_config(design, num_cores=1, seed=seed, asym=asym,
+                         controller=controller)
+    with open(path, "rb") as probe:
+        is_rtrc = probe.read(len(MAGIC)) == MAGIC
+    if is_rtrc:
+        reader = RtrcReader(path)
+        records = list(records_to_accesses(
+            reader, wrap_bytes=config.geometry.capacity_bytes))
+    else:
+        with open(path) as stream:
+            records = list(read_trace(stream))
     if not records:
         raise ValueError(f"trace file {path!r} is empty")
     if references is None:
         references = len(records)
-    config = make_config(design, num_cores=1, seed=seed, asym=asym,
-                         controller=controller)
     return simulate(config, [iter(records)], references,
                     workload_name=f"trace:{path}",
                     timeline_interval_refs=default_timeline_interval(

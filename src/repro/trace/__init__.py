@@ -1,6 +1,9 @@
 """Workload traces: record model, synthetic generators, SPEC2006 profiles,
-and multi-programming mixes."""
+multi-programming mixes, and real-trace ingestion (k6/mase -> .rtrc;
+see :mod:`repro.trace.ingest`, :mod:`repro.trace.rtrc` and
+:mod:`repro.trace.library`)."""
 
+from .ingest import TraceFormatError, TraceRecord, detect_format, parse_trace
 from .multiprog import MIX_ORDER, MIXES, build_mix_traces, mix_names
 from .record import (
     ADDR,
@@ -36,6 +39,10 @@ from .synthetic import (
 )
 
 __all__ = [
+    "TraceFormatError",
+    "TraceRecord",
+    "detect_format",
+    "parse_trace",
     "MIX_ORDER",
     "MIXES",
     "build_mix_traces",

@@ -23,6 +23,7 @@ from .synthetic import (
     PhasedPattern,
     PointerChase,
     SequentialStream,
+    StridedPattern,
     UniformRandom,
     ZipfPattern,
     compose,
@@ -55,6 +56,53 @@ def _streamcopy(footprint: int, rng: random.Random) -> AddressPattern:
     return MixturePattern([(1.0, src), (1.0, dst)], rng)
 
 
+def _refreshstorm(footprint: int, rng: random.Random) -> AddressPattern:
+    """Refresh-dominated idling: sparse random touches over a huge set.
+
+    The long mean gap (set in the profile) leaves banks idle most of the
+    time, so refresh overhead — which asymmetric designs restructure —
+    becomes a first-order term in the latency account.
+    """
+    return UniformRandom(0, footprint, rng, write_fraction=0.1)
+
+
+def _writeburst(footprint: int, rng: random.Random) -> AddressPattern:
+    """Alternating read-mostly and write-flood phases (log flushing).
+
+    The write phases stress write-queue drain and dirty-line migration;
+    the phase flip is exactly the dynamic-vs-static discriminator the
+    paper's DAS design targets.
+    """
+    half = footprint // 2
+    reads = SequentialStream(0, half, rng, write_fraction=0.05)
+    writes = SequentialStream(half, half, rng, write_fraction=0.9)
+    return PhasedPattern([reads, writes], phase_length=6_000)
+
+
+def _channelhop(footprint: int, rng: random.Random) -> AddressPattern:
+    """Rotating single-channel hot phases (channel-interleaving stress).
+
+    With the default geometry's [line | column | channel | ...] bit
+    layout, consecutive 8 KiB blocks alternate channels, so a 16 KiB
+    stride pins a stream to one channel and the 8 KiB base offset
+    selects which.  Each phase hammers one channel while the other
+    idles — the worst case for designs that size fast capacity
+    per-channel.
+    """
+    stride = 16 * 1024
+    phases = [
+        StridedPattern(channel * 8 * 1024, footprint - 16 * 1024, stride,
+                       rng, write_fraction=0.25)
+        for channel in (0, 1)
+    ]
+    return PhasedPattern(phases, phase_length=6_000)
+
+
+def _footprint(footprint: int, rng: random.Random) -> AddressPattern:
+    """Uniform random over exactly the profile footprint (knee sweep)."""
+    return UniformRandom(0, footprint, rng, write_fraction=0.2)
+
+
 def _matrixsweep(footprint: int, rng: random.Random) -> AddressPattern:
     """Blocked matrix traversal: phase-alternating row/column sweeps."""
     half = footprint // 2
@@ -77,8 +125,26 @@ EXTRA_PROFILES: Dict[str, BenchmarkProfile] = {
                  "dual-stream", _streamcopy, lifetime_spread=6.0),
         _profile("matrixsweep", "synthetic", 12.0, 0, 45.0, 0.25,
                  "phased-row/col", _matrixsweep, lifetime_spread=3.0),
+        _profile("refreshstorm", "synthetic", 96.0, 0, 220.0, 0.1,
+                 "sparse-random", _refreshstorm, lifetime_spread=1.5),
+        _profile("writeburst", "synthetic", 8.0, 0, 22.0, 0.45,
+                 "phased-read/write", _writeburst, lifetime_spread=2.0),
+        _profile("channelhop", "synthetic", 16.0, 0, 24.0, 0.25,
+                 "phased-per-channel", _channelhop, lifetime_spread=1.5),
+        *(
+            _profile(f"fp{mib}m", "synthetic", float(mib), 0, 30.0, 0.2,
+                     "uniform-random", _footprint, lifetime_spread=1.0)
+            for mib in (8, 16, 32, 64, 128)
+        ),
     )
 }
+
+#: The stress axes the scenario experiments sweep.
+STRESS_NAMES = ["refreshstorm", "writeburst", "channelhop"]
+
+#: Footprint-ladder workloads crossing the fast-level capacity knee
+#: (default geometry: 256 MiB device, 32 MiB fast level).
+FOOTPRINT_LADDER = ["fp8m", "fp16m", "fp32m", "fp64m", "fp128m"]
 
 
 def extra_names():

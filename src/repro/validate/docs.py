@@ -119,6 +119,25 @@ SECTIONS: Tuple[Section, ...] = (
             "controller policy), the inclusive-management alternative of "
             "Section 5, seed stability and mix fairness.",
         )),
+    Section(
+        "Scenario axes (beyond the paper)",
+        "repro run stress|footprint", ("stress", "footprint"),
+        intro=(
+            "Widens the evaluated behaviour space along axes the SPEC "
+            "roster barely exercises (see docs/TRACES.md for the "
+            "companion file-backed-trace path): `stress` runs three "
+            "targeted generators — refresh-dominated idling "
+            "(auto-refresh enabled), alternating write-flood phases, "
+            "and a rotating single-channel hotspot — while `footprint` "
+            "walks a uniform-random working-set ladder across the "
+            "fast-level capacity knee (the default geometry gives the "
+            "fast level 32 MiB).",
+        ),
+        table={"experiment": "footprint", "row": "improve",
+               "columns": ("fp8m", "fp16m", "fp32m", "fp64m", "fp128m"),
+               "labels": ("8 MiB", "16 MiB", "32 MiB", "64 MiB",
+                          "128 MiB"),
+               "unit": "DAS improvement (%)"}),
 )
 
 

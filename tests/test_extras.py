@@ -10,8 +10,10 @@ from repro.trace.extras import EXTRA_PROFILES, build_extra_trace, extra_names
 
 class TestRegistry:
     def test_names(self):
-        assert set(extra_names()) == {"kvstore", "graphwalk",
-                                      "streamcopy", "matrixsweep"}
+        assert set(extra_names()) == {
+            "kvstore", "graphwalk", "streamcopy", "matrixsweep",
+            "refreshstorm", "writeburst", "channelhop",
+            "fp8m", "fp16m", "fp32m", "fp64m", "fp128m"}
 
     def test_no_collision_with_spec(self):
         from repro.trace.spec2006 import PROFILES
